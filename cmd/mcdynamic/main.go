@@ -1,0 +1,74 @@
+// Command mcdynamic regenerates the dynamic wormhole simulations of
+// Section 7.2 (Figures 7.8–7.11): average network latency under load for
+// the deadlock-free multicast schemes on an 8x8 mesh with 128-byte
+// messages and 20 Mbyte/s channels.
+//
+// Usage:
+//
+//	mcdynamic                 # all four figures at full fidelity
+//	mcdynamic -quick          # reduced sweeps for a fast look
+//	mcdynamic -fig 7.10 -csv  # one figure as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multicastnet/internal/experiments"
+	"multicastnet/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps and cycle budgets")
+	seed := flag.Uint64("seed", 1990, "workload seed")
+	maxCycles := flag.Int64("maxcycles", 0, "override cycle budget per point")
+	figID := flag.String("fig", "", "only this figure (7.8, 7.9, 7.10, 7.11)")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	opts := experiments.DynamicDefaults()
+	if *quick {
+		opts = experiments.DynamicQuick()
+	}
+	opts.Seed = *seed
+	if *maxCycles > 0 {
+		opts.MaxCycles = *maxCycles
+	}
+
+	figs := map[string]func(experiments.DynamicOptions) *stats.Figure{
+		"7.8":  experiments.Fig78LatencyVsLoadDouble,
+		"7.9":  experiments.Fig79LatencyVsDestsDouble,
+		"7.10": experiments.Fig710LatencyVsLoadSingle,
+		"7.11": experiments.Fig711LatencyVsDestsSingle,
+	}
+	order := []string{"7.8", "7.9", "7.10", "7.11"}
+
+	run := func(id string) {
+		fn, ok := figs[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcdynamic: unknown figure %q\n", id)
+			os.Exit(1)
+		}
+		fig := fn(opts)
+		var err error
+		if *csv {
+			err = fig.WriteCSV(os.Stdout)
+		} else {
+			err = fig.WriteTable(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdynamic:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *figID != "" {
+		run(*figID)
+		return
+	}
+	for _, id := range order {
+		run(id)
+	}
+}

@@ -1,0 +1,118 @@
+// Command mcfigures regenerates every table and figure of the
+// dissertation into a results directory: Tables 5.1–5.4, the worked route
+// examples of Chapters 5 and 6, the deadlock demonstrations, Fig. 2.3,
+// the static figures 7.1–7.7 (plus ablations), and the dynamic figures
+// 7.8–7.11. Each artifact is written both as an aligned text table and as
+// CSV.
+//
+// Usage:
+//
+//	mcfigures -out results          # full fidelity (minutes)
+//	mcfigures -out results -quick   # reduced workloads (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"multicastnet/internal/experiments"
+	"multicastnet/internal/stats"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "reduced workloads")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	sopts := experiments.Defaults()
+	dopts := experiments.DynamicDefaults()
+	if *quick {
+		sopts = experiments.Quick()
+		dopts = experiments.DynamicQuick()
+	}
+
+	// Chapter 5 tables and worked examples.
+	writeText(*out, "table_5_1.txt", experiments.WriteTable51)
+	writeText(*out, "table_5_2.txt", experiments.WriteTable52)
+	writeText(*out, "table_5_3.txt", experiments.WriteTable53)
+	writeText(*out, "table_5_4.txt", experiments.WriteTable54)
+	writeText(*out, "examples.txt", experiments.ExampleRoutes)
+	writeText(*out, "deadlocks.txt", experiments.DeadlockDemos)
+
+	// Figures.
+	figures := []*stats.Figure{
+		experiments.Fig23Switching(),
+		experiments.Fig71SortedMPMesh(sopts),
+		experiments.Fig72SortedMPCube(sopts),
+		experiments.Fig73GreedySTMesh(sopts),
+		experiments.Fig74GreedySTCube(sopts),
+		experiments.Fig75MTMesh(sopts),
+		experiments.Fig76PathTrafficCube(sopts),
+		experiments.Fig77PathTrafficMesh(sopts),
+		experiments.AblationLabeling(sopts),
+		experiments.AblationDestinationOrder(sopts),
+		experiments.ExtVirtualChannelsStatic(sopts),
+		experiments.ExtDualPath3D(sopts),
+		experiments.Fig78LatencyVsLoadDouble(dopts),
+		experiments.Fig79LatencyVsDestsDouble(dopts),
+		experiments.Fig710LatencyVsLoadSingle(dopts),
+		experiments.Fig711LatencyVsDestsSingle(dopts),
+		experiments.ExtVirtualChannelsDynamic(dopts),
+		experiments.ExtUnicastMix(dopts),
+		experiments.ExtAdaptive(dopts),
+	}
+	for _, fig := range figures {
+		base := figBase(fig.ID)
+		writeFigure(*out, base+".txt", fig, false)
+		writeFigure(*out, base+".csv", fig, true)
+		fmt.Printf("wrote %s\n", base)
+	}
+}
+
+func figBase(id string) string {
+	s := strings.ToLower(id)
+	s = strings.ReplaceAll(s, " ", "_")
+	s = strings.ReplaceAll(s, ".", "_")
+	return s
+}
+
+func writeFigure(dir, name string, fig *stats.Figure, csv bool) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if csv {
+		err = fig.WriteCSV(f)
+	} else {
+		err = fig.WriteTable(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func writeText(dir, name string, fn func(w io.Writer) error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcfigures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseSystem(t *testing.T) {
+	good := []string{"mesh:8x8", "mesh:4x3", "cube:5"}
+	for _, spec := range good {
+		if _, err := parseSystem(spec); err != nil {
+			t.Errorf("%q rejected: %v", spec, err)
+		}
+	}
+	bad := []string{"", "mesh:8", "mesh:axb", "cube:x", "torus:4", "mesh:8x8x8"}
+	for _, spec := range bad {
+		if _, err := parseSystem(spec); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+}
+
+func TestParseDests(t *testing.T) {
+	d, err := parseDests("1, 2,3")
+	if err != nil || len(d) != 3 || d[0] != 1 || d[2] != 3 {
+		t.Errorf("parseDests: %v %v", d, err)
+	}
+	for _, bad := range []string{"", "1,,2", "a"} {
+		if _, err := parseDests(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

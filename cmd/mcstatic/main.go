@@ -1,0 +1,71 @@
+// Command mcstatic regenerates the static-traffic experiments of
+// Section 7.1 (Figures 7.1–7.7) plus the labeling and ordering ablations,
+// printing each as an aligned table (or CSV with -csv).
+//
+// Usage:
+//
+//	mcstatic                 # all figures, 1000 repetitions each
+//	mcstatic -reps 100       # faster
+//	mcstatic -fig 7.4 -csv   # one figure as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multicastnet/internal/experiments"
+	"multicastnet/internal/stats"
+)
+
+func main() {
+	reps := flag.Int("reps", 1000, "random multicast sets per destination count")
+	seed := flag.Uint64("seed", 1990, "workload seed")
+	figID := flag.String("fig", "", "only this figure (e.g. 7.1, 7.5, ablationA)")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	opts := experiments.Options{Reps: *reps, Seed: *seed}
+	figs := map[string]func(experiments.Options) *stats.Figure{
+		"7.1":       experiments.Fig71SortedMPMesh,
+		"7.2":       experiments.Fig72SortedMPCube,
+		"7.3":       experiments.Fig73GreedySTMesh,
+		"7.4":       experiments.Fig74GreedySTCube,
+		"7.5":       experiments.Fig75MTMesh,
+		"7.6":       experiments.Fig76PathTrafficCube,
+		"7.7":       experiments.Fig77PathTrafficMesh,
+		"ablationA": experiments.AblationLabeling,
+		"ablationB": experiments.AblationDestinationOrder,
+		"extV":      experiments.ExtVirtualChannelsStatic,
+		"ext3D":     experiments.ExtDualPath3D,
+	}
+	order := []string{"7.1", "7.2", "7.3", "7.4", "7.5", "7.6", "7.7", "ablationA", "ablationB", "extV", "ext3D"}
+
+	run := func(id string) {
+		fn, ok := figs[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcstatic: unknown figure %q\n", id)
+			os.Exit(1)
+		}
+		fig := fn(opts)
+		var err error
+		if *csv {
+			err = fig.WriteCSV(os.Stdout)
+		} else {
+			err = fig.WriteTable(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcstatic:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *figID != "" {
+		run(*figID)
+		return
+	}
+	for _, id := range order {
+		run(id)
+	}
+}

@@ -1,0 +1,3 @@
+module multicastnet
+
+go 1.22

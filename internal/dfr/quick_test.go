@@ -1,0 +1,151 @@
+package dfr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/topology"
+)
+
+// quickSet derives a valid multicast set from arbitrary quick-generated
+// bytes: the first byte picks the source, the rest pick destinations
+// (deduplicated, source excluded). It returns ok=false for degenerate
+// inputs.
+func quickSet(t topology.Topology, raw []byte) (src topology.NodeID, dests []topology.NodeID, ok bool) {
+	if len(raw) < 2 {
+		return 0, nil, false
+	}
+	n := t.Nodes()
+	src = topology.NodeID(int(raw[0]) % n)
+	seen := map[topology.NodeID]bool{src: true}
+	for _, b := range raw[1:] {
+		d := topology.NodeID(int(b) % n)
+		if !seen[d] {
+			seen[d] = true
+			dests = append(dests, d)
+		}
+	}
+	return src, dests, len(dests) > 0
+}
+
+// TestQuickDualPathInvariants property-checks dual-path routing over
+// arbitrary multicast sets on mesh and cube: exactly-once delivery,
+// host-graph channels only, label monotonicity, and the two-path bound.
+func TestQuickDualPathInvariants(t *testing.T) {
+	cases := []struct {
+		topo topology.Topology
+		l    labeling.Labeling
+	}{
+		{topology.NewMesh2D(7, 5), labeling.NewMeshBoustrophedon(topology.NewMesh2D(7, 5))},
+		{topology.NewHypercube(5), labeling.NewHypercubeGray(topology.NewHypercube(5))},
+		{topology.NewMesh3D(3, 3, 3), labeling.NewMesh3DBoustrophedon(topology.NewMesh3D(3, 3, 3))},
+	}
+	for _, tc := range cases {
+		topo, l := tc.topo, tc.l
+		f := func(raw []byte) bool {
+			src, dests, ok := quickSet(topo, raw)
+			if !ok {
+				return true
+			}
+			k, err := coreSetFor(topo, src, dests)
+			if err != nil {
+				return false
+			}
+			s := DualPath(topo, l, k)
+			if len(s.Paths) > 2 {
+				return false
+			}
+			if s.Validate(topo, k) != nil {
+				return false
+			}
+			for _, p := range s.Paths {
+				up := l.Label(p.Nodes[len(p.Nodes)-1]) > l.Label(p.Nodes[0])
+				for i := 1; i < len(p.Nodes); i++ {
+					a, b := l.Label(p.Nodes[i-1]), l.Label(p.Nodes[i])
+					if up && a >= b || !up && a <= b {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", topo.Name(), err)
+		}
+	}
+}
+
+// TestQuickFixedPathTrafficFormula property-checks the fixed-path cost
+// identity: traffic equals (maxLabel - l(u0)) + (l(u0) - minLabel) over
+// the destination labels.
+func TestQuickFixedPathTrafficFormula(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	l := labeling.NewMeshBoustrophedon(m)
+	f := func(raw []byte) bool {
+		src, dests, ok := quickSet(m, raw)
+		if !ok {
+			return true
+		}
+		k, err := coreSetFor(m, src, dests)
+		if err != nil {
+			return false
+		}
+		s := FixedPath(m, l, k)
+		l0 := l.Label(src)
+		up, down := 0, 0
+		for _, d := range dests {
+			if ld := l.Label(d); ld > l0 {
+				if ld-l0 > up {
+					up = ld - l0
+				}
+			} else if l0-ld > down {
+				down = l0 - ld
+			}
+		}
+		return s.Traffic() == up+down
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQuadrantPartitionIsExact property-checks the Section 6.2.1
+// destination partition: every destination lands in exactly one
+// subnetwork.
+func TestQuickQuadrantPartitionIsExact(t *testing.T) {
+	m := topology.NewMesh2D(9, 7)
+	f := func(raw []byte) bool {
+		src, dests, ok := quickSet(m, raw)
+		if !ok {
+			return true
+		}
+		k, err := coreSetFor(m, src, dests)
+		if err != nil {
+			return false
+		}
+		quads := PartitionQuadrants(m, k)
+		count := 0
+		seen := map[topology.NodeID]bool{}
+		for _, q := range quads {
+			for _, d := range q {
+				if seen[d] {
+					return false
+				}
+				seen[d] = true
+				count++
+			}
+		}
+		return count == len(dests)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// coreSetFor builds a validated multicast set (helper shared by the quick
+// properties).
+func coreSetFor(t topology.Topology, src topology.NodeID, dests []topology.NodeID) (core.MulticastSet, error) {
+	return core.NewMulticastSet(t, src, dests)
+}

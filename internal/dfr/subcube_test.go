@@ -1,0 +1,79 @@
+package dfr
+
+import (
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/topology"
+)
+
+// TestSubcubeTreeStructure checks the nCUBE-2 subcube multicast: the tree
+// spans exactly the subcube, traffic-optimally (2^|mask| - 1 channels),
+// with every destination at its shortest distance.
+func TestSubcubeTreeStructure(t *testing.T) {
+	h := topology.NewHypercube(5)
+	src := topology.NodeID(0b10110)
+	mask := topology.NodeID(0b01101) // 3 free dimensions: 8-node subcube
+	tr := SubcubeTree(h, src, mask)
+	if len(tr.Dests) != 7 {
+		t.Fatalf("subcube has %d destinations, want 7", len(tr.Dests))
+	}
+	if tr.Traffic() != 7 {
+		t.Errorf("traffic %d, want 7 (spanning tree of the subcube)", tr.Traffic())
+	}
+	k := core.MustMulticastSet(h, src, tr.Dests)
+	if err := tr.Validate(h, k); err != nil {
+		t.Fatal(err)
+	}
+	depths := tr.Depths()
+	for _, d := range tr.Dests {
+		if d&^mask != src&^mask {
+			t.Errorf("destination %05b outside the subcube", d)
+		}
+		if depths[d] != h.Distance(src, d) {
+			t.Errorf("destination %05b at depth %d, distance %d", d, depths[d], h.Distance(src, d))
+		}
+	}
+}
+
+// TestSubcubeTreeFullMaskIsBroadcast checks that the full mask reproduces
+// the broadcast tree.
+func TestSubcubeTreeFullMaskIsBroadcast(t *testing.T) {
+	h := topology.NewHypercube(4)
+	sub := SubcubeTree(h, 5, topology.NodeID(h.Nodes()-1))
+	bc := ECubeBroadcastTree(h, 5)
+	if sub.Traffic() != bc.Traffic() || len(sub.Dests) != len(bc.Dests) {
+		t.Errorf("full-mask subcube differs from broadcast: %d/%d vs %d/%d",
+			sub.Traffic(), len(sub.Dests), bc.Traffic(), len(bc.Dests))
+	}
+}
+
+// TestSubcubeTreesDeadlock shows the Section 6.1 problem persists for
+// subcube multicast: two overlapping subcube multicasts from adjacent
+// roots form a dependency cycle under lock-step semantics.
+func TestSubcubeTreesDeadlock(t *testing.T) {
+	h := topology.NewHypercube(3)
+	rec := NewDependencyRecorder()
+	rec.AddTree(SubcubeTree(h, 0b000, 0b111))
+	rec.AddTree(SubcubeTree(h, 0b001, 0b111))
+	if rec.FindCycle() == nil {
+		t.Error("expected a dependency cycle between overlapping subcube multicasts")
+	}
+	// Disjoint subcubes cannot interfere.
+	solo := NewDependencyRecorder()
+	solo.AddTree(SubcubeTree(h, 0b000, 0b011)) // lower face
+	solo.AddTree(SubcubeTree(h, 0b100, 0b011)) // upper face
+	if cyc := solo.FindCycle(); cyc != nil {
+		t.Errorf("disjoint subcubes should not cycle, got %v", cyc)
+	}
+}
+
+func TestSubcubeTreeMaskValidation(t *testing.T) {
+	h := topology.NewHypercube(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized mask")
+		}
+	}()
+	SubcubeTree(h, 0, 0b11111)
+}

@@ -1,0 +1,237 @@
+package dfr
+
+import (
+	"fmt"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/topology"
+)
+
+// Subnetwork identifies one of the four acyclic subnetworks of the
+// double-channel X-first scheme (Fig. 6.5).
+type Subnetwork int
+
+// The four subnetworks of Section 6.2.1.
+const (
+	NetPlusXPlusY Subnetwork = iota
+	NetMinusXPlusY
+	NetMinusXMinusY
+	NetPlusXMinusY
+)
+
+// String implements fmt.Stringer.
+func (s Subnetwork) String() string {
+	switch s {
+	case NetPlusXPlusY:
+		return "N+X+Y"
+	case NetMinusXPlusY:
+		return "N-X+Y"
+	case NetMinusXMinusY:
+		return "N-X-Y"
+	case NetPlusXMinusY:
+		return "N+X-Y"
+	default:
+		return fmt.Sprintf("Subnetwork(%d)", int(s))
+	}
+}
+
+// channelClass returns the channel class used by a hop in the given
+// subnetwork. Doubling each physical channel yields two copies (classes 0
+// and 1); each of the four subnetworks takes a unique (direction, class)
+// pair, so the subnetworks are channel-disjoint: +X channels are split
+// between N+X+Y (0) and N+X-Y (1), +Y channels between N+X+Y (0) and
+// N-X+Y (1), and symmetrically for -X and -Y.
+func (s Subnetwork) channelClass(dx, dy int) int {
+	switch s {
+	case NetPlusXPlusY:
+		return 0 // +X copy 0, +Y copy 0
+	case NetMinusXPlusY:
+		if dx != 0 {
+			return 0 // -X copy 0
+		}
+		return 1 // +Y copy 1
+	case NetMinusXMinusY:
+		if dx != 0 {
+			return 1 // -X copy 1
+		}
+		return 0 // -Y copy 0
+	default: // NetPlusXMinusY
+		return 1 // +X copy 1, -Y copy 1
+	}
+}
+
+// TreeRoute is a tree-shaped wormhole multicast route: the structure
+// produced by tree-like routing, in which the message is replicated at
+// branch nodes and all branches advance in lock-step (Section 6.1).
+type TreeRoute struct {
+	Root topology.NodeID
+	// Edges lists the tree's channels in a parent-before-child order.
+	Edges []Channel
+	// Dests are the destinations the tree must deliver.
+	Dests []topology.NodeID
+}
+
+// Traffic returns the number of channels used.
+func (t TreeRoute) Traffic() int { return len(t.Edges) }
+
+// Depths returns the hop depth of every node of the tree.
+func (t TreeRoute) Depths() map[topology.NodeID]int {
+	depth := map[topology.NodeID]int{t.Root: 0}
+	for _, e := range t.Edges {
+		depth[e.To] = depth[e.From] + 1
+	}
+	return depth
+}
+
+// MaxDistance returns the deepest destination depth.
+func (t TreeRoute) MaxDistance() int {
+	depth := t.Depths()
+	maxd := 0
+	for _, d := range t.Dests {
+		if depth[d] > maxd {
+			maxd = depth[d]
+		}
+	}
+	return maxd
+}
+
+// Validate checks tree well-formedness and that every destination is a
+// tree node reached along host-graph channels.
+func (t TreeRoute) Validate(topo topology.Topology, k core.MulticastSet) error {
+	if t.Root != k.Source {
+		return fmt.Errorf("dfr: tree rooted at %d, source %d", t.Root, k.Source)
+	}
+	inTree := map[topology.NodeID]bool{t.Root: true}
+	for _, e := range t.Edges {
+		if !inTree[e.From] {
+			return fmt.Errorf("dfr: tree edge %v from unattached node", e)
+		}
+		if inTree[e.To] {
+			return fmt.Errorf("dfr: tree edge %v reattaches node %d", e, e.To)
+		}
+		if !topo.Adjacent(e.From, e.To) {
+			return fmt.Errorf("dfr: tree edge %v is not a host channel", e)
+		}
+		inTree[e.To] = true
+	}
+	for _, d := range k.Dests {
+		if !inTree[d] {
+			return fmt.Errorf("dfr: destination %d not in tree", d)
+		}
+	}
+	return nil
+}
+
+// PartitionQuadrants splits the destination set among the four
+// subnetworks according to the relative position of each destination and
+// the source (Section 6.2.1):
+//
+//	D+X+Y: x > x0, y >= y0    D-X+Y: x <= x0, y > y0
+//	D-X-Y: x < x0, y <= y0    D+X-Y: x >= x0, y < y0
+//
+// The half-open quadrants tile the mesh minus the source, so each
+// destination lands in exactly one subnetwork.
+func PartitionQuadrants(m *topology.Mesh2D, k core.MulticastSet) [4][]topology.NodeID {
+	x0, y0 := m.XY(k.Source)
+	var out [4][]topology.NodeID
+	for _, d := range k.Dests {
+		x, y := m.XY(d)
+		switch {
+		case x > x0 && y >= y0:
+			out[NetPlusXPlusY] = append(out[NetPlusXPlusY], d)
+		case x <= x0 && y > y0:
+			out[NetMinusXPlusY] = append(out[NetMinusXPlusY], d)
+		case x < x0 && y <= y0:
+			out[NetMinusXMinusY] = append(out[NetMinusXMinusY], d)
+		default:
+			out[NetPlusXMinusY] = append(out[NetPlusXMinusY], d)
+		}
+	}
+	return out
+}
+
+// DoubleChannelXFirst runs the double-channel X-first multicast routing
+// algorithm (Fig. 6.6) and returns one tree route per non-empty
+// subnetwork. Within each subnetwork the message first advances along X
+// to the nearest destination column, then repeatedly delivers, branches
+// along Y for same-column destinations, and continues along X (X-first
+// Y-next). Each subnetwork is acyclic, so the scheme is deadlock-free
+// (Assertion 1).
+func DoubleChannelXFirst(m *topology.Mesh2D, k core.MulticastSet) []TreeRoute {
+	quads := PartitionQuadrants(m, k)
+	var out []TreeRoute
+	for q := Subnetwork(0); q < 4; q++ {
+		dests := quads[q]
+		if len(dests) == 0 {
+			continue
+		}
+		tr := TreeRoute{Root: k.Source, Dests: dests}
+		xdir, ydir := +1, +1
+		switch q {
+		case NetMinusXPlusY:
+			xdir = -1
+		case NetMinusXMinusY:
+			xdir, ydir = -1, -1
+		case NetPlusXMinusY:
+			ydir = -1
+		}
+		type msg struct {
+			at    topology.NodeID
+			dests []topology.NodeID
+		}
+		queue := []msg{{at: k.Source, dests: dests}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			x, y := m.XY(cur.at)
+			// Step 1: keep moving along X until some destination's
+			// column is reached (in the movement direction, the
+			// "nearest" column is the extreme one on our side).
+			needX := false
+			for _, d := range cur.dests {
+				dx, _ := m.XY(d)
+				if xdir > 0 && dx > x || xdir < 0 && dx < x {
+					needX = true
+				}
+			}
+			colHasDest := false
+			for _, d := range cur.dests {
+				if dx, _ := m.XY(d); dx == x {
+					colHasDest = true
+				}
+			}
+			if needX && !colHasDest {
+				next := m.ID(x+xdir, y)
+				tr.Edges = append(tr.Edges, Channel{From: cur.at, To: next, Class: q.channelClass(xdir, 0)})
+				queue = append(queue, msg{at: next, dests: cur.dests})
+				continue
+			}
+			// Steps 2-3: deliver here, branch Y for this column, send
+			// the rest along X.
+			var dy, rest []topology.NodeID
+			for _, d := range cur.dests {
+				dx, ddy := m.XY(d)
+				switch {
+				case dx == x && ddy == y:
+					// Delivered to the local node.
+				case dx == x:
+					dy = append(dy, d)
+				default:
+					rest = append(rest, d)
+				}
+			}
+			if len(dy) > 0 {
+				next := m.ID(x, y+ydir)
+				tr.Edges = append(tr.Edges, Channel{From: cur.at, To: next, Class: q.channelClass(0, ydir)})
+				queue = append(queue, msg{at: next, dests: dy})
+			}
+			if len(rest) > 0 {
+				next := m.ID(x+xdir, y)
+				tr.Edges = append(tr.Edges, Channel{From: cur.at, To: next, Class: q.channelClass(xdir, 0)})
+				queue = append(queue, msg{at: next, dests: rest})
+			}
+		}
+		out = append(out, tr)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package dfr
+
+import (
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// TestVirtualChannelPathEqualsDualAtV1 pins the base case: one channel
+// copy is exactly dual-path routing.
+func TestVirtualChannelPathEqualsDualAtV1(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	rng := stats.NewRand(3)
+	for trial := 0; trial < 100; trial++ {
+		k := randomSet(m, rng, 1+rng.Intn(12))
+		v1 := VirtualChannelPath(m, l, k, 1)
+		dual := DualPath(m, l, k)
+		if v1.Traffic() != dual.Traffic() || len(v1.Paths) != len(dual.Paths) {
+			t.Fatalf("trial %d: V=1 differs from dual-path (%d/%d vs %d/%d)",
+				trial, v1.Traffic(), len(v1.Paths), dual.Traffic(), len(dual.Paths))
+		}
+		for i := range v1.Paths {
+			if len(v1.Paths[i].Nodes) != len(dual.Paths[i].Nodes) {
+				t.Fatalf("trial %d: path %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestVirtualChannelPathProperty checks validity, per-copy label
+// monotonicity, class disjointness, and the distance benefit of more
+// copies.
+func TestVirtualChannelPathProperty(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	rng := stats.NewRand(17)
+	var dist1, dist4 int
+	for trial := 0; trial < 150; trial++ {
+		k := randomSet(m, rng, 2+rng.Intn(14))
+		for _, v := range []int{1, 2, 4} {
+			s := VirtualChannelPath(m, l, k, v)
+			if err := s.Validate(m, k); err != nil {
+				t.Fatalf("trial %d v=%d: %v", trial, v, err)
+			}
+			if len(s.Paths) > 2*v {
+				t.Fatalf("trial %d: %d paths with v=%d", trial, len(s.Paths), v)
+			}
+			for _, p := range s.Paths {
+				if p.Class < 0 || p.Class >= 2*v {
+					t.Fatalf("trial %d: class %d out of range for v=%d", trial, p.Class, v)
+				}
+				up := l.Label(p.Nodes[len(p.Nodes)-1]) > l.Label(p.Nodes[0])
+				if up != (p.Class%2 == 0) {
+					t.Fatalf("trial %d: class parity does not match direction", trial)
+				}
+				for i := 1; i < len(p.Nodes); i++ {
+					a, b := l.Label(p.Nodes[i-1]), l.Label(p.Nodes[i])
+					if up && a >= b || !up && a <= b {
+						t.Fatalf("trial %d: path not label-monotone", trial)
+					}
+				}
+			}
+		}
+		dist1 += VirtualChannelPath(m, l, k, 1).MaxDistance()
+		dist4 += VirtualChannelPath(m, l, k, 4).MaxDistance()
+	}
+	if dist4 >= dist1 {
+		t.Errorf("4 copies should shorten the worst path: V=4 %d vs V=1 %d", dist4, dist1)
+	}
+}
+
+// TestVirtualChannelPathCDGAcyclic verifies the extension stays
+// deadlock-free: each copy network's dependency graph is acyclic across
+// many interacting multicasts.
+func TestVirtualChannelPathCDGAcyclic(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	rng := stats.NewRand(23)
+	rec := NewDependencyRecorder()
+	for trial := 0; trial < 200; trial++ {
+		k := randomSet(m, rng, 1+rng.Intn(14))
+		rec.AddStar(VirtualChannelPath(m, l, k, 4))
+	}
+	if cyc := rec.FindCycle(); cyc != nil {
+		t.Errorf("virtual-channel CDG has cycle %v", cyc)
+	}
+}
+
+func TestVirtualChannelPathPanicsOnBadV(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	l := labeling.NewMeshBoustrophedon(m)
+	k := core.MustMulticastSet(m, 0, []topology.NodeID{5})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for v=0")
+		}
+	}()
+	VirtualChannelPath(m, l, k, 0)
+}
+
+// TestDualPathOn3DMesh exercises the Section 4.3 extension: the generic
+// dual-path and fixed-path routing over the plane-serpentine labeling of
+// a 3D mesh, with validity, monotonicity, and an acyclic CDG.
+func TestDualPathOn3DMesh(t *testing.T) {
+	m := topology.NewMesh3D(4, 3, 3)
+	l, err := core.LabelingFor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(29)
+	rec := NewDependencyRecorder()
+	for trial := 0; trial < 150; trial++ {
+		k := randomSet(m, rng, 1+rng.Intn(10))
+		for _, s := range []Star{DualPath(m, l, k), FixedPath(m, l, k)} {
+			if err := s.Validate(m, k); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for _, p := range s.Paths {
+				up := l.Label(p.Nodes[len(p.Nodes)-1]) > l.Label(p.Nodes[0])
+				for i := 1; i < len(p.Nodes); i++ {
+					a, b := l.Label(p.Nodes[i-1]), l.Label(p.Nodes[i])
+					if up && a >= b || !up && a <= b {
+						t.Fatalf("trial %d: 3D path not label-monotone", trial)
+					}
+				}
+			}
+		}
+		rec.AddStar(DualPath(m, l, k))
+	}
+	if cyc := rec.FindCycle(); cyc != nil {
+		t.Errorf("3D dual-path CDG has cycle %v", cyc)
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/switching"
+	"multicastnet/internal/topology"
+	"multicastnet/internal/wormsim"
+)
+
+// DynamicOptions scale the Chapter 7.2 simulations. MaxCycles bounds each
+// run; the paper's stopping rule (95% CI within 5% of the mean) applies
+// within the bound.
+type DynamicOptions struct {
+	Seed      uint64
+	MaxCycles int64
+	Warmup    int
+	BatchSize int
+	// Loads overrides the inter-arrival sweep (mean microseconds between
+	// multicasts per node); nil selects the full sweep.
+	Loads []float64
+	// Dests overrides the destination-count sweep; nil selects the full
+	// sweep.
+	Dests []int
+}
+
+func (o DynamicOptions) loads() []float64 {
+	if o.Loads != nil {
+		return o.Loads
+	}
+	return Loads
+}
+
+func (o DynamicOptions) dests() []int {
+	if o.Dests != nil {
+		return o.Dests
+	}
+	return DestCounts
+}
+
+// DynamicDefaults are full-fidelity settings.
+func DynamicDefaults() DynamicOptions {
+	return DynamicOptions{Seed: 1990, MaxCycles: 3_000_000, Warmup: 2000, BatchSize: 1000}
+}
+
+// DynamicQuick keeps runs short for benchmarks.
+func DynamicQuick() DynamicOptions {
+	return DynamicOptions{
+		Seed: 1990, MaxCycles: 60_000, Warmup: 200, BatchSize: 200,
+		Loads: []float64{1500, 500, 300},
+		Dests: []int{1, 10, 25, 45},
+	}
+}
+
+// Loads is the inter-arrival sweep of Figures 7.8/7.10, in mean
+// microseconds between multicasts per node, from light to heavy.
+var Loads = []float64{1500, 1000, 700, 500, 400, 300, 250}
+
+// DestCounts is the destination sweep of Figures 7.9/7.11 (1 to 45
+// average destinations, 300 us inter-arrival).
+var DestCounts = []int{1, 5, 10, 15, 20, 25, 30, 35, 40, 45}
+
+// dynamicPoint runs one simulation and returns the mean per-destination
+// latency in microseconds. Deadlocked or empty runs return a NaN-free
+// sentinel of 0, which the figures render as a gap.
+func dynamicPoint(topo topology.Topology, route wormsim.RouteFunc, interUs float64,
+	avgDests int, o DynamicOptions) (float64, bool) {
+	res, err := wormsim.Run(wormsim.Config{
+		Topology:               topo,
+		Route:                  route,
+		MeanInterarrivalMicros: interUs,
+		AvgDests:               avgDests,
+		Seed:                   o.Seed,
+		WarmupDeliveries:       o.Warmup,
+		BatchSize:              o.BatchSize,
+		MinBatches:             5,
+		MaxCycles:              o.MaxCycles,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if res.Deadlocked || res.Deliveries == 0 {
+		return 0, false
+	}
+	return res.AvgLatencyMicros, true
+}
+
+// loadAxis converts an inter-arrival time to the load value plotted on
+// the x axis: multicasts per millisecond per node.
+func loadAxis(interUs float64) float64 { return 1000 / interUs }
+
+// Fig78LatencyVsLoadDouble reproduces Fig. 7.8: average network latency
+// vs load on a double-channel 8x8 mesh for the tree, dual-path, and
+// multi-path algorithms (10 average destinations, 128-byte messages,
+// 20 Mbytes/s channels).
+func Fig78LatencyVsLoadDouble(o DynamicOptions) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Fig 7.8", Title: "Latency under load, double-channel 8x8 mesh",
+		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
+	schemes := []struct {
+		name  string
+		route wormsim.RouteFunc
+	}{
+		{"tree", wormsim.DoubleChannelTreeScheme(m)},
+		{"dual-path", wormsim.DualPathDoubleScheme(m, l)},
+		{"multi-path", wormsim.MultiPathMeshDoubleScheme(m, l)},
+	}
+	for _, s := range schemes {
+		series := fig.AddSeries(s.name)
+		for _, inter := range o.loads() {
+			if y, ok := dynamicPoint(m, s.route, inter, 10, o); ok {
+				series.Add(loadAxis(inter), y)
+			}
+		}
+	}
+	return fig
+}
+
+// Fig79LatencyVsDestsDouble reproduces Fig. 7.9: latency vs destination
+// count on the double-channel mesh at 300 us inter-arrival.
+func Fig79LatencyVsDestsDouble(o DynamicOptions) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Fig 7.9", Title: "Latency vs destinations, double-channel 8x8 mesh",
+		XLabel: "average destinations", YLabel: "latency (us)"}
+	schemes := []struct {
+		name  string
+		route wormsim.RouteFunc
+	}{
+		{"tree", wormsim.DoubleChannelTreeScheme(m)},
+		{"dual-path", wormsim.DualPathDoubleScheme(m, l)},
+		{"multi-path", wormsim.MultiPathMeshDoubleScheme(m, l)},
+	}
+	for _, s := range schemes {
+		series := fig.AddSeries(s.name)
+		for _, d := range o.dests() {
+			if y, ok := dynamicPoint(m, s.route, 300, d, o); ok {
+				series.Add(float64(d), y)
+			}
+		}
+	}
+	return fig
+}
+
+// Fig710LatencyVsLoadSingle reproduces Fig. 7.10: dual- vs multi-path on
+// single channels across loads (10 average destinations).
+func Fig710LatencyVsLoadSingle(o DynamicOptions) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Fig 7.10", Title: "Latency under load, single-channel 8x8 mesh",
+		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
+	schemes := []struct {
+		name  string
+		route wormsim.RouteFunc
+	}{
+		{"dual-path", wormsim.DualPathScheme(m, l)},
+		{"multi-path", wormsim.MultiPathMeshScheme(m, l)},
+	}
+	for _, s := range schemes {
+		series := fig.AddSeries(s.name)
+		for _, inter := range o.loads() {
+			if y, ok := dynamicPoint(m, s.route, inter, 10, o); ok {
+				series.Add(loadAxis(inter), y)
+			}
+		}
+	}
+	return fig
+}
+
+// Fig711LatencyVsDestsSingle reproduces Fig. 7.11: dual-, multi-, and
+// fixed-path on single channels across destination counts under high
+// load (300 us inter-arrival), where the multi-path hot-spot effect and
+// the dual/fixed convergence appear.
+func Fig711LatencyVsDestsSingle(o DynamicOptions) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Fig 7.11", Title: "Latency vs destinations, single-channel 8x8 mesh",
+		XLabel: "average destinations", YLabel: "latency (us)"}
+	schemes := []struct {
+		name  string
+		route wormsim.RouteFunc
+	}{
+		{"dual-path", wormsim.DualPathScheme(m, l)},
+		{"multi-path", wormsim.MultiPathMeshScheme(m, l)},
+		{"fixed-path", wormsim.FixedPathScheme(m, l)},
+	}
+	for _, s := range schemes {
+		series := fig.AddSeries(s.name)
+		for _, d := range o.dests() {
+			if y, ok := dynamicPoint(m, s.route, 300, d, o); ok {
+				series.Add(float64(d), y)
+			}
+		}
+	}
+	return fig
+}
+
+// Fig23Switching reproduces the Fig. 2.3 comparison: contention-free
+// latency vs distance for the four switching technologies with the
+// paper's parameters.
+func Fig23Switching() *stats.Figure {
+	p := switching.DefaultParams()
+	fig := &stats.Figure{ID: "Fig 2.3", Title: "Switching technology latency (128-byte message)",
+		XLabel: "distance (hops)", YLabel: "latency (us)"}
+	techs := []switching.Technology{
+		switching.StoreAndForward, switching.VirtualCutThrough,
+		switching.CircuitSwitching, switching.Wormhole,
+	}
+	for _, tech := range techs {
+		series := fig.AddSeries(tech.String())
+		for d := 0; d <= 20; d += 2 {
+			series.Add(float64(d), switching.Latency(tech, p, d))
+		}
+	}
+	return fig
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/heuristics"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+	"multicastnet/internal/wormsim"
+)
+
+// The Ext* figures exercise the dissertation's Section 8.2 future-work
+// directions that this repository implements: virtual-channel network
+// partitioning and the unicast/multicast traffic interaction study.
+
+// ExtVirtualChannelsStatic measures additional traffic and worst
+// source-to-destination distance of the virtual-channel scheme for
+// v = 1, 2, 4 copies on an 8x8 mesh. More copies shorten the worst path
+// (each path covers a narrower label interval) at a modest traffic cost
+// (each extra path pays its own startup leg).
+func ExtVirtualChannelsStatic(opts Options) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Ext V", Title: "Virtual-channel partitioning on an 8x8 mesh (Section 8.2)",
+		XLabel: "destinations", YLabel: "additional traffic / max distance"}
+	type variant struct {
+		name string
+		v    int
+	}
+	variants := []variant{{"v=1 (dual-path)", 1}, {"v=2", 2}, {"v=4", 4}}
+	traffic := make(map[string]*stats.Series)
+	maxDist := make(map[string]*stats.Series)
+	for _, vt := range variants {
+		traffic[vt.name] = fig.AddSeries(vt.name + " traffic")
+		maxDist[vt.name] = fig.AddSeries(vt.name + " max-dist")
+	}
+	rng := stats.NewRand(opts.Seed)
+	for _, k := range KValuesSmall {
+		if k > m.Nodes()-1 {
+			continue
+		}
+		tSum := make(map[string]float64)
+		dSum := make(map[string]float64)
+		for rep := 0; rep < opts.reps(); rep++ {
+			set := randomSet(m, rng, k)
+			for _, vt := range variants {
+				s := dfr.VirtualChannelPath(m, l, set, vt.v)
+				tSum[vt.name] += additionalTraffic(s.Traffic(), k)
+				dSum[vt.name] += float64(s.MaxDistance())
+			}
+		}
+		for _, vt := range variants {
+			traffic[vt.name].Add(float64(k), tSum[vt.name]/float64(opts.reps()))
+			maxDist[vt.name].Add(float64(k), dSum[vt.name]/float64(opts.reps()))
+		}
+	}
+	return fig
+}
+
+// ExtVirtualChannelsDynamic measures latency under load for v = 1, 2, 4
+// channel copies (each copy modeled as dedicated link capacity, i.e.
+// physically replicated channels; see EXPERIMENTS.md).
+func ExtVirtualChannelsDynamic(o DynamicOptions) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Ext V-dyn", Title: "Virtual-channel partitioning under load (8x8 mesh)",
+		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
+	for _, v := range []int{1, 2, 4} {
+		series := fig.AddSeries(vName(v))
+		route := wormsim.VirtualChannelScheme(m, l, v)
+		for _, inter := range o.loads() {
+			if y, ok := dynamicPoint(m, route, inter, 10, o); ok {
+				series.Add(loadAxis(inter), y)
+			}
+		}
+	}
+	return fig
+}
+
+func vName(v int) string {
+	switch v {
+	case 1:
+		return "v=1 (dual-path)"
+	case 2:
+		return "v=2"
+	default:
+		return "v=4"
+	}
+}
+
+// ExtUnicastMix runs the Section 8.2 interaction study: a fixed message
+// rate whose composition shifts from pure multicast to pure unicast, with
+// unicast and multicast latencies measured separately under dual-path
+// routing.
+func ExtUnicastMix(o DynamicOptions) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Ext U", Title: "Unicast/multicast interaction, dual-path on an 8x8 mesh",
+		XLabel: "unicast fraction (%)", YLabel: "latency (us)"}
+	uni := fig.AddSeries("unicast latency")
+	mc := fig.AddSeries("multicast latency")
+	all := fig.AddSeries("overall latency")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		res, err := wormsim.Run(wormsim.Config{
+			Topology:               m,
+			Route:                  wormsim.DualPathScheme(m, l),
+			MeanInterarrivalMicros: 400,
+			AvgDests:               10,
+			UnicastFraction:        frac,
+			Seed:                   o.Seed,
+			WarmupDeliveries:       o.Warmup,
+			BatchSize:              o.BatchSize,
+			MinBatches:             5,
+			MaxCycles:              o.MaxCycles,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if res.Deadlocked || res.Deliveries == 0 {
+			continue
+		}
+		x := frac * 100
+		all.Add(x, res.AvgLatencyMicros)
+		if frac > 0 && res.AvgUnicastLatencyMicros > 0 {
+			uni.Add(x, res.AvgUnicastLatencyMicros)
+		}
+		if res.AvgMulticastLatencyMicros > 0 {
+			mc.Add(x, res.AvgMulticastLatencyMicros)
+		}
+	}
+	return fig
+}
+
+// ExtAdaptive compares deterministic dual-path routing against the
+// congestion-adaptive variant (Section 8.2: adaptive routing with
+// deadlock freedom preserved by the label-monotone window) across loads.
+func ExtAdaptive(o DynamicOptions) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Ext A", Title: "Adaptive vs deterministic dual-path (8x8 mesh)",
+		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
+	det := fig.AddSeries("deterministic")
+	ada := fig.AddSeries("adaptive")
+	for _, inter := range o.loads() {
+		if y, ok := dynamicPoint(m, wormsim.DualPathScheme(m, l), inter, 10, o); ok {
+			det.Add(loadAxis(inter), y)
+		}
+		res, err := wormsim.Run(wormsim.Config{
+			Topology:               m,
+			LiveRoute:              wormsim.AdaptiveDualPathScheme(m, l),
+			MeanInterarrivalMicros: inter,
+			AvgDests:               10,
+			Seed:                   o.Seed,
+			WarmupDeliveries:       o.Warmup,
+			BatchSize:              o.BatchSize,
+			MinBatches:             5,
+			MaxCycles:              o.MaxCycles,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if !res.Deadlocked && res.Deliveries > 0 {
+			ada.Add(loadAxis(inter), res.AvgLatencyMicros)
+		}
+	}
+	return fig
+}
+
+// ExtDualPath3D exercises dual-path routing on a 3D mesh (the Section
+// 4.3 topology) against the multi-unicast baseline.
+func ExtDualPath3D(opts Options) *stats.Figure {
+	m := topology.NewMesh3D(4, 4, 4)
+	l, err := core.LabelingFor(m)
+	if err != nil {
+		panic(err)
+	}
+	fig := &stats.Figure{ID: "Ext 3D", Title: "Dual-path routing on a 4x4x4 mesh",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	staticSweep(fig, m, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
+		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
+		"dual-path":  func(k core.MulticastSet) int { return dfr.DualPath(m, l, k).Traffic() },
+		"fixed-path": func(k core.MulticastSet) int { return dfr.FixedPath(m, l, k).Traffic() },
+	}, []string{"one-to-one", "dual-path", "fixed-path"})
+	return fig
+}

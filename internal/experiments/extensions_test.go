@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExtVirtualChannelsStaticShape(t *testing.T) {
+	fig := ExtVirtualChannelsStatic(Quick())
+	// More copies cut the worst source-to-destination distance...
+	shapeAboveRange(t, fig, "v=1 (dual-path) max-dist", "v=4 max-dist", 5, 60)
+	// ...and never reduce traffic (extra startup legs).
+	v1 := fig.Get("v=1 (dual-path) traffic")
+	v4 := fig.Get("v=4 traffic")
+	for i, x := range v1.X {
+		if y4, ok := v4.At(x); ok && y4 < v1.Y[i]-1e-9 {
+			t.Errorf("v=4 traffic %.1f below v=1 %.1f at k=%g", y4, v1.Y[i], x)
+		}
+	}
+}
+
+func TestExtDualPath3DShape(t *testing.T) {
+	fig := ExtDualPath3D(Quick())
+	shapeAboveRange(t, fig, "one-to-one", "dual-path", 10, 60)
+	shapeAboveRange(t, fig, "fixed-path", "dual-path", 2, 30)
+}
+
+func TestExtDynamicFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamic simulation in -short mode")
+	}
+	o := DynamicQuick()
+
+	vd := ExtVirtualChannelsDynamic(o)
+	for _, name := range []string{"v=1 (dual-path)", "v=2", "v=4"} {
+		s := vd.Get(name)
+		if s == nil || len(s.X) == 0 {
+			t.Fatalf("Ext V-dyn: series %q empty", name)
+		}
+	}
+	// At the heaviest quick load, more copies cannot be slower than the
+	// single-copy baseline by any meaningful margin.
+	v1 := vd.Get("v=1 (dual-path)")
+	v4 := vd.Get("v=4")
+	if len(v1.Y) > 0 && len(v4.Y) > 0 {
+		last1, last4 := v1.Y[len(v1.Y)-1], v4.Y[len(v4.Y)-1]
+		if last4 > 1.2*last1 {
+			t.Errorf("v=4 latency %.1f much worse than v=1 %.1f under load", last4, last1)
+		}
+	}
+
+	adaptive := ExtAdaptive(o)
+	det := adaptive.Get("deterministic")
+	ada := adaptive.Get("adaptive")
+	if det == nil || ada == nil || len(det.X) == 0 || len(ada.X) == 0 {
+		t.Fatal("Ext A: series empty")
+	}
+	// Adaptive routing never deadlocks and should not be grossly worse
+	// than deterministic at the heaviest measured load.
+	if last := len(ada.Y) - 1; ada.Y[last] > 1.5*det.Y[len(det.Y)-1] {
+		t.Errorf("adaptive latency %.1f much worse than deterministic %.1f",
+			ada.Y[last], det.Y[len(det.Y)-1])
+	}
+
+	um := ExtUnicastMix(o)
+	all := um.Get("overall latency")
+	if all == nil || len(all.X) < 3 {
+		t.Fatal("Ext U: overall series too short")
+	}
+	uni := um.Get("unicast latency")
+	mc := um.Get("multicast latency")
+	if len(uni.X) == 0 || len(mc.X) == 0 {
+		t.Fatal("Ext U: split series empty")
+	}
+	// Unicasts are single short messages: their latency should undercut
+	// the multicast per-destination latency at every measured mix.
+	for i, x := range uni.X {
+		if y, ok := mc.At(x); ok && uni.Y[i] >= y {
+			t.Errorf("unicast latency %.1f not below multicast %.1f at %g%% mix", uni.Y[i], y, x)
+		}
+	}
+	// Replacing multicasts with unicasts lowers offered traffic, so the
+	// overall latency should not increase with the unicast fraction.
+	if all.Y[len(all.Y)-1] > all.Y[0]*1.1 {
+		t.Errorf("overall latency rose with unicast fraction: %.1f -> %.1f",
+			all.Y[0], all.Y[len(all.Y)-1])
+	}
+}

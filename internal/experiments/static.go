@@ -1,0 +1,254 @@
+// Package experiments regenerates every table and figure of the
+// dissertation's evaluation (Chapter 7, plus the worked tables of
+// Chapter 5 and the switching comparison of Fig. 2.3). Each runner
+// returns a stats.Figure whose series carry the same curves the paper
+// plots; cmd/mcfigures renders them, and the root bench_test.go exposes
+// one benchmark per figure.
+package experiments
+
+import (
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/heuristics"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// Options scales experiment cost: Reps is the number of random multicast
+// sets per destination count (the paper uses 1000); Seed fixes the
+// workload.
+type Options struct {
+	Reps int
+	Seed uint64
+}
+
+// Defaults returns the paper's parameters.
+func Defaults() Options { return Options{Reps: 1000, Seed: 1990} }
+
+// Quick returns reduced-cost options for benchmarks and smoke tests.
+func Quick() Options { return Options{Reps: 25, Seed: 1990} }
+
+func (o Options) reps() int {
+	if o.Reps <= 0 {
+		return 1000
+	}
+	return o.Reps
+}
+
+// KValuesMesh1024 is the destination-count sweep of Figures 7.1/7.3
+// (1 to 900 destinations on 1024 nodes).
+var KValuesMesh1024 = []int{1, 2, 5, 10, 20, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900}
+
+// KValuesSmall is the sweep used on the 256- and 64-node topologies.
+var KValuesSmall = []int{1, 2, 5, 10, 15, 20, 30, 40, 50, 60}
+
+// randomSet draws a uniform multicast set with k destinations, mapping
+// integers to node addresses exactly as Section 7.1 describes.
+func randomSet(t topology.Topology, rng *stats.Rand, k int) core.MulticastSet {
+	src := topology.NodeID(rng.Intn(t.Nodes()))
+	raw := rng.Sample(t.Nodes(), k, int(src))
+	dests := make([]topology.NodeID, k)
+	for i, v := range raw {
+		dests[i] = topology.NodeID(v)
+	}
+	return core.MustMulticastSet(t, src, dests)
+}
+
+// additionalTraffic is the paper's metric: total traffic minus the k
+// units any 1-to-k multicast must spend.
+func additionalTraffic(total, k int) float64 { return float64(total - k) }
+
+// staticSweep runs reps random sets per k for each named algorithm and
+// fills one series per algorithm with the mean additional traffic.
+func staticSweep(fig *stats.Figure, t topology.Topology, ks []int, opts Options,
+	algos map[string]func(core.MulticastSet) int, order []string) {
+	series := make(map[string]*stats.Series, len(order))
+	for _, name := range order {
+		series[name] = fig.AddSeries(name)
+	}
+	rng := stats.NewRand(opts.Seed)
+	for _, k := range ks {
+		if k > t.Nodes()-1 {
+			continue
+		}
+		sums := make(map[string]float64, len(order))
+		for rep := 0; rep < opts.reps(); rep++ {
+			set := randomSet(t, rng, k)
+			for _, name := range order {
+				sums[name] += additionalTraffic(algos[name](set), k)
+			}
+		}
+		for _, name := range order {
+			series[name].Add(float64(k), sums[name]/float64(opts.reps()))
+		}
+	}
+}
+
+// Fig71SortedMPMesh reproduces Fig. 7.1: sorted MP vs multiple one-to-one
+// and broadcast on a 32x32 mesh.
+func Fig71SortedMPMesh(opts Options) *stats.Figure {
+	m := topology.NewMesh2D(32, 32)
+	c, err := labeling.MeshHamiltonCycle(m)
+	if err != nil {
+		panic(err)
+	}
+	fig := &stats.Figure{ID: "Fig 7.1", Title: "Sorted MP algorithm on a 32x32 mesh",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	staticSweep(fig, m, KValuesMesh1024, opts, map[string]func(core.MulticastSet) int{
+		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
+		"broadcast":  func(k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
+		"sorted MP":  func(k core.MulticastSet) int { return heuristics.SortedMP(m, c, k).Traffic() },
+	}, []string{"one-to-one", "broadcast", "sorted MP"})
+	return fig
+}
+
+// Fig72SortedMPCube reproduces Fig. 7.2: sorted MP on a 10-cube.
+func Fig72SortedMPCube(opts Options) *stats.Figure {
+	h := topology.NewHypercube(10)
+	c, err := labeling.CubeHamiltonCycle(h)
+	if err != nil {
+		panic(err)
+	}
+	fig := &stats.Figure{ID: "Fig 7.2", Title: "Sorted MP algorithm on a 10-cube",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	staticSweep(fig, h, KValuesMesh1024, opts, map[string]func(core.MulticastSet) int{
+		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(h, k) },
+		"broadcast":  func(k core.MulticastSet) int { return heuristics.BroadcastTraffic(h) },
+		"sorted MP":  func(k core.MulticastSet) int { return heuristics.SortedMP(h, c, k).Traffic() },
+	}, []string{"one-to-one", "broadcast", "sorted MP"})
+	return fig
+}
+
+// Fig73GreedySTMesh reproduces Fig. 7.3: greedy ST on a 32x32 mesh.
+func Fig73GreedySTMesh(opts Options) *stats.Figure {
+	m := topology.NewMesh2D(32, 32)
+	fig := &stats.Figure{ID: "Fig 7.3", Title: "Greedy ST algorithm on a 32x32 mesh",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	staticSweep(fig, m, KValuesMesh1024, opts, map[string]func(core.MulticastSet) int{
+		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
+		"broadcast":  func(k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
+		"greedy ST":  func(k core.MulticastSet) int { return heuristics.GreedySTCarried(m, k).Links },
+	}, []string{"one-to-one", "broadcast", "greedy ST"})
+	return fig
+}
+
+// Fig74GreedySTCube reproduces Fig. 7.4: greedy ST vs the LEN heuristic
+// [20] on a 10-cube.
+func Fig74GreedySTCube(opts Options) *stats.Figure {
+	h := topology.NewHypercube(10)
+	fig := &stats.Figure{ID: "Fig 7.4", Title: "Greedy ST algorithm vs LEN on a 10-cube",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	staticSweep(fig, h, KValuesMesh1024, opts, map[string]func(core.MulticastSet) int{
+		"LEN":       func(k core.MulticastSet) int { return heuristics.LEN(h, k).Links },
+		"greedy ST": func(k core.MulticastSet) int { return heuristics.GreedySTCarried(h, k).Links },
+	}, []string{"LEN", "greedy ST"})
+	return fig
+}
+
+// Fig75MTMesh reproduces Fig. 7.5: X-first vs divided greedy on a 16x16
+// mesh, with the one-to-one and broadcast baselines of the text.
+func Fig75MTMesh(opts Options) *stats.Figure {
+	m := topology.NewMesh2D(16, 16)
+	fig := &stats.Figure{ID: "Fig 7.5", Title: "X-first and divided greedy algorithms on a 16x16 mesh",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	ks := []int{1, 2, 5, 10, 20, 40, 60, 80, 100, 140, 180, 220}
+	staticSweep(fig, m, ks, opts, map[string]func(core.MulticastSet) int{
+		"one-to-one":     func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
+		"broadcast":      func(k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
+		"X-first":        func(k core.MulticastSet) int { return heuristics.XFirstMT(m, k).Links },
+		"divided greedy": func(k core.MulticastSet) int { return heuristics.DividedGreedyMT(m, k).Links },
+	}, []string{"one-to-one", "broadcast", "X-first", "divided greedy"})
+	return fig
+}
+
+// Fig76PathTrafficCube reproduces Fig. 7.6: additional traffic of the
+// deadlock-free path schemes on a 6-cube.
+func Fig76PathTrafficCube(opts Options) *stats.Figure {
+	h := topology.NewHypercube(6)
+	l := labeling.NewHypercubeGray(h)
+	fig := &stats.Figure{ID: "Fig 7.6", Title: "Multicast methods on a 6-cube",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	staticSweep(fig, h, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
+		"dual-path":  func(k core.MulticastSet) int { return dfr.DualPath(h, l, k).Traffic() },
+		"multi-path": func(k core.MulticastSet) int { return dfr.MultiPathCube(h, l, k).Traffic() },
+		"fixed-path": func(k core.MulticastSet) int { return dfr.FixedPath(h, l, k).Traffic() },
+	}, []string{"dual-path", "multi-path", "fixed-path"})
+	return fig
+}
+
+// Fig77PathTrafficMesh reproduces Fig. 7.7: additional traffic of the
+// path schemes on an 8x8 mesh.
+func Fig77PathTrafficMesh(opts Options) *stats.Figure {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	fig := &stats.Figure{ID: "Fig 7.7", Title: "Multicast methods on an 8x8 mesh",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	staticSweep(fig, m, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
+		"dual-path":  func(k core.MulticastSet) int { return dfr.DualPath(m, l, k).Traffic() },
+		"multi-path": func(k core.MulticastSet) int { return dfr.MultiPathMesh(m, l, k).Traffic() },
+		"fixed-path": func(k core.MulticastSet) int { return dfr.FixedPath(m, l, k).Traffic() },
+	}, []string{"dual-path", "multi-path", "fixed-path"})
+	return fig
+}
+
+// AblationLabeling compares the average dual-path traffic on a 16x16 mesh
+// under three Hamiltonian labelings — the paper's boustrophedon, the
+// transposed serpentine, and the comb cycle of Table 5.1 used as a path —
+// quantifying the Fig. 6.10 observation that Hamilton-path selection
+// matters.
+func AblationLabeling(opts Options) *stats.Figure {
+	m := topology.NewMesh2D(16, 16)
+	comb, err := labeling.MeshHamiltonCycle(m)
+	if err != nil {
+		panic(err)
+	}
+	labelings := []struct {
+		name string
+		l    labeling.Labeling
+	}{
+		{"boustrophedon", labeling.NewMeshBoustrophedon(m)},
+		{"column-major", labeling.NewMeshColumnMajor(m)},
+		{"comb cycle", labeling.PathLabeling{Cycle: comb}},
+	}
+	fig := &stats.Figure{ID: "Ablation A", Title: "Dual-path traffic under different Hamilton labelings (16x16 mesh)",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	algos := make(map[string]func(core.MulticastSet) int, len(labelings))
+	var order []string
+	for _, entry := range labelings {
+		l := entry.l
+		algos[entry.name] = func(k core.MulticastSet) int { return dfr.DualPath(m, l, k).Traffic() }
+		order = append(order, entry.name)
+	}
+	staticSweep(fig, m, KValuesSmall, opts, algos, order)
+	return fig
+}
+
+// AblationDestinationOrder compares sorted-by-label visiting against the
+// unsorted (arrival-order) path on a 16x16 mesh: the ordering is what
+// keeps the multicast path short (and label-monotone, hence
+// deadlock-free).
+func AblationDestinationOrder(opts Options) *stats.Figure {
+	m := topology.NewMesh2D(16, 16)
+	c, err := labeling.MeshHamiltonCycle(m)
+	if err != nil {
+		panic(err)
+	}
+	router := core.XYRouter{Mesh: m}
+	unsorted := func(k core.MulticastSet) int {
+		total := 0
+		at := k.Source
+		for _, d := range k.Dests {
+			total += len(core.UnicastPath(router, at, d)) - 1
+			at = d
+		}
+		return total
+	}
+	fig := &stats.Figure{ID: "Ablation B", Title: "Sorted vs unsorted multicast path (16x16 mesh)",
+		XLabel: "destinations", YLabel: "additional traffic"}
+	staticSweep(fig, m, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
+		"sorted MP":     func(k core.MulticastSet) int { return heuristics.SortedMP(m, c, k).Traffic() },
+		"unsorted path": unsorted,
+	}, []string{"sorted MP", "unsorted path"})
+	return fig
+}

@@ -1,0 +1,149 @@
+package graphx
+
+import "fmt"
+
+// Digraph is a simple directed graph over vertices 0..N-1, used to model
+// channel dependency graphs (Section 2.3.4): vertices are channels and an
+// edge (c_i, c_j) means the routing function can forward a message holding
+// c_i onto c_j. A routing algorithm is deadlock-free iff this graph is
+// acyclic (Dally & Seitz, cited as [44]).
+type Digraph struct {
+	adj  [][]int
+	seen []map[int]bool
+}
+
+// NewDigraph returns an empty directed graph with n vertices.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic("graphx: negative vertex count")
+	}
+	return &Digraph{adj: make([][]int, n), seen: make([]map[int]bool, n)}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return len(g.adj) }
+
+// AddEdge inserts the directed edge (u, v); duplicates are ignored so that
+// dependency enumeration can blindly add every observed pair.
+func (g *Digraph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if g.seen[u] == nil {
+		g.seen[u] = make(map[int]bool)
+	}
+	if g.seen[u][v] {
+		return
+	}
+	g.seen[u][v] = true
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// Edges returns the number of directed edges.
+func (g *Digraph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total
+}
+
+// Successors returns the out-neighbors of v (owned by the graph).
+func (g *Digraph) Successors(v int) []int {
+	g.check(v)
+	return g.adj[v]
+}
+
+func (g *Digraph) check(v int) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graphx: vertex %d out of range [0,%d)", v, len(g.adj)))
+	}
+}
+
+// FindCycle returns one directed cycle as a vertex sequence (first vertex
+// repeated at the end), or nil if the graph is acyclic. It is the checker
+// behind every deadlock-freedom assertion in package dfr.
+func (g *Digraph) FindCycle() []int {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS stack
+		black = 2 // finished
+	)
+	color := make([]int, g.N())
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Back edge u -> v closes a cycle v ... u v. Walk
+				// parents from u back to v, then reverse that
+				// segment into forward order.
+				var rev []int
+				for w := u; w != v; w = parent[w] {
+					rev = append(rev, w)
+				}
+				cycle = append(cycle, v)
+				for i := len(rev) - 1; i >= 0; i-- {
+					cycle = append(cycle, rev[i])
+				}
+				cycle = append(cycle, v)
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+
+	for v := 0; v < g.N(); v++ {
+		if color[v] == white && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the graph has no directed cycle.
+func (g *Digraph) Acyclic() bool { return g.FindCycle() == nil }
+
+// TopoOrder returns a topological order of the vertices, or nil when the
+// graph has a cycle.
+func (g *Digraph) TopoOrder() []int {
+	indeg := make([]int, g.N())
+	for _, a := range g.adj {
+		for _, v := range a {
+			indeg[v]++
+		}
+	}
+	var queue, order []int
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != g.N() {
+		return nil
+	}
+	return order
+}

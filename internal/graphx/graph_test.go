@@ -1,0 +1,303 @@
+package graphx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i)
+	}
+	return g
+}
+
+func cycleGraph(n int) *Graph {
+	g := pathGraph(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func gridRect(w, h int) *GridGraph {
+	var pts []Point
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pts = append(pts, Point{x, y})
+		}
+	}
+	return NewGridGraph(pts)
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.Edges() != 2 {
+		t.Fatalf("Edges()=%d, want 2", g.Edges())
+	}
+	if !g.HasEdge(1, 0) {
+		t.Error("HasEdge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge (0,2)")
+	}
+	if g.Connected() {
+		t.Error("graph with isolated vertex 3 reported connected")
+	}
+	g.AddEdge(2, 3)
+	if !g.Connected() {
+		t.Error("path graph reported disconnected")
+	}
+	if !g.IsTree() {
+		t.Error("path graph is a tree")
+	}
+	g.AddEdge(3, 0)
+	if g.IsTree() {
+		t.Error("cycle reported as tree")
+	}
+}
+
+func TestGraphRejectsBadEdges(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	for i, fn := range []func(){
+		func() { g.AddEdge(0, 0) },
+		func() { g.AddEdge(0, 1) },
+		func() { g.AddEdge(1, 0) },
+		func() { g.AddEdge(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBFSDistancesAndShortestPath(t *testing.T) {
+	g := gridRect(4, 3).Graph()
+	dist := g.BFSDistances(0)
+	// Vertex order in gridRect is row-major, so index = y*4 + x.
+	if dist[11] != 5 {
+		t.Errorf("dist to far corner = %d, want 5", dist[11])
+	}
+	p := g.ShortestPath(0, 11)
+	if len(p) != 6 || p[0] != 0 || p[5] != 11 {
+		t.Fatalf("bad shortest path %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		if !g.HasEdge(p[i-1], p[i]) {
+			t.Fatalf("path uses non-edge (%d,%d)", p[i-1], p[i])
+		}
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if p := g.ShortestPath(0, 3); p != nil {
+		t.Errorf("expected nil path, got %v", p)
+	}
+}
+
+func TestBFSLayers(t *testing.T) {
+	g := gridRect(3, 3).Graph()
+	layers := g.BFSLayers(0)
+	wantSizes := []int{1, 2, 3, 2, 1}
+	if len(layers) != len(wantSizes) {
+		t.Fatalf("got %d layers, want %d", len(layers), len(wantSizes))
+	}
+	for i, want := range wantSizes {
+		if len(layers[i]) != want {
+			t.Errorf("layer %d has %d vertices, want %d", i, len(layers[i]), want)
+		}
+	}
+}
+
+func TestDigraphCycleDetection(t *testing.T) {
+	d := NewDigraph(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	if !d.Acyclic() {
+		t.Error("DAG reported cyclic")
+	}
+	if d.TopoOrder() == nil {
+		t.Error("DAG has no topo order")
+	}
+	d.AddEdge(3, 1)
+	cyc := d.FindCycle()
+	if cyc == nil {
+		t.Fatal("cycle not found")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Errorf("cycle %v not closed", cyc)
+	}
+	for i := 1; i < len(cyc); i++ {
+		found := false
+		for _, s := range d.Successors(cyc[i-1]) {
+			if s == cyc[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cycle uses non-edge (%d,%d)", cyc[i-1], cyc[i])
+		}
+	}
+	if d.TopoOrder() != nil {
+		t.Error("cyclic digraph has topo order")
+	}
+}
+
+func TestDigraphDuplicateEdgesIgnored(t *testing.T) {
+	d := NewDigraph(2)
+	d.AddEdge(0, 1)
+	d.AddEdge(0, 1)
+	if d.Edges() != 1 {
+		t.Errorf("Edges()=%d, want 1", d.Edges())
+	}
+}
+
+func TestDigraphRandomAcyclicityProperty(t *testing.T) {
+	// A digraph whose edges all go from lower to higher vertex is a DAG.
+	f := func(edges []uint16) bool {
+		const n = 32
+		d := NewDigraph(n)
+		for _, e := range edges {
+			u := int(e>>8) % n
+			v := int(e&0xff) % n
+			if u < v {
+				d.AddEdge(u, v)
+			}
+		}
+		return d.Acyclic() && d.TopoOrder() != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridGraph(t *testing.T) {
+	g := NewGridGraph([]Point{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {2, 1}})
+	gr := g.Graph()
+	if gr.Edges() != 4 {
+		t.Errorf("Edges()=%d, want 4", gr.Edges())
+	}
+	i00, _ := g.Index(Point{0, 0})
+	i20, _ := g.Index(Point{2, 0})
+	if !gr.Connected() {
+		t.Error("grid should be connected")
+	}
+	if d := gr.BFSDistances(i00)[i20]; d != 2 {
+		t.Errorf("distance (0,0)-(2,0) = %d, want 2", d)
+	}
+	minX, minY, maxX, maxY := g.Bounds()
+	if minX != 0 || minY != 0 || maxX != 2 || maxY != 1 {
+		t.Errorf("bad bounds %d %d %d %d", minX, minY, maxX, maxY)
+	}
+}
+
+func TestGridCornerVertex(t *testing.T) {
+	g := NewGridGraph([]Point{{2, 5}, {1, 3}, {1, 1}, {3, 0}})
+	c := g.CornerVertex()
+	if g.Point(c) != (Point{1, 1}) {
+		t.Errorf("corner = %v, want (1,1)", g.Point(c))
+	}
+}
+
+func TestGridDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate point")
+		}
+	}()
+	NewGridGraph([]Point{{0, 0}, {0, 0}})
+}
+
+func TestHamiltonPathAndCycle(t *testing.T) {
+	// 3x3 grid: Hamilton path exists, Hamilton cycle does not (odd
+	// bipartite imbalance).
+	g := gridRect(3, 3).Graph()
+	p := g.HamiltonPathFrom(0)
+	if p == nil {
+		t.Fatal("3x3 grid has a Hamilton path from a corner")
+	}
+	if !g.IsHamiltonPath(p) {
+		t.Fatalf("returned sequence %v is not a Hamilton path", p)
+	}
+	if c := g.HamiltonCycle(); c != nil {
+		t.Errorf("3x3 grid should have no Hamilton cycle, got %v", c)
+	}
+
+	// 4x3 grid: cycle exists.
+	g2 := gridRect(4, 3).Graph()
+	c := g2.HamiltonCycle()
+	if c == nil {
+		t.Fatal("4x3 grid has a Hamilton cycle")
+	}
+	if !g2.IsHamiltonCycle(c) {
+		t.Fatalf("returned sequence %v is not a Hamilton cycle", c)
+	}
+}
+
+func TestHamiltonPathBetween(t *testing.T) {
+	g := pathGraph(5)
+	if p := g.HamiltonPathBetween(0, 4); p == nil {
+		t.Error("path graph has Hamilton path end to end")
+	}
+	if p := g.HamiltonPathBetween(0, 2); p != nil {
+		t.Errorf("no Hamilton path 0->2 in path graph, got %v", p)
+	}
+	c := cycleGraph(6)
+	if p := c.HamiltonPathBetween(2, 3); p == nil {
+		t.Error("cycle graph has Hamilton path between adjacent nodes")
+	}
+}
+
+func TestHamiltonValidators(t *testing.T) {
+	g := cycleGraph(4)
+	if g.IsHamiltonPath([]int{0, 1, 2}) {
+		t.Error("short sequence accepted")
+	}
+	if g.IsHamiltonPath([]int{0, 1, 1, 2}) {
+		t.Error("repeated vertex accepted")
+	}
+	if g.IsHamiltonCycle([]int{0, 1, 2, 3}) {
+		t.Error("unclosed cycle accepted")
+	}
+	if !g.IsHamiltonCycle([]int{0, 1, 2, 3, 0}) {
+		t.Error("valid cycle rejected")
+	}
+}
+
+// TestShortestPathOptimalProperty quick-checks ShortestPath length against
+// BFS distances on random connected grids.
+func TestShortestPathOptimalProperty(t *testing.T) {
+	g := gridRect(6, 5).Graph()
+	f := func(a, b uint8) bool {
+		src := int(a) % g.N()
+		dst := int(b) % g.N()
+		p := g.ShortestPath(src, dst)
+		d := g.BFSDistances(src)[dst]
+		if d < 0 {
+			return p == nil
+		}
+		if len(p)-1 != d {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				return false
+			}
+		}
+		return p[0] == src && p[len(p)-1] == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

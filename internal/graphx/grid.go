@@ -1,0 +1,135 @@
+package graphx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is a vertex of the infinite integer lattice G-infinity of
+// Section 4.1.
+type Point struct {
+	X, Y int
+}
+
+// GridGraph is a finite node-induced subgraph of the integer lattice: two
+// vertices are adjacent iff their Euclidean distance is 1. Grid graphs are
+// the source problems of every Chapter 4 reduction (Hamilton cycle/path in
+// grid graphs is NP-complete, results G1-G4 of [51]).
+type GridGraph struct {
+	points []Point       // sorted, deduplicated
+	index  map[Point]int // point -> vertex index
+}
+
+// NewGridGraph builds the node-induced grid graph on the given points.
+// Duplicates are rejected with a panic.
+func NewGridGraph(points []Point) *GridGraph {
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Y != ps[j].Y {
+			return ps[i].Y < ps[j].Y
+		}
+		return ps[i].X < ps[j].X
+	})
+	index := make(map[Point]int, len(ps))
+	for i, p := range ps {
+		if _, dup := index[p]; dup {
+			panic(fmt.Sprintf("graphx: duplicate grid point %v", p))
+		}
+		index[p] = i
+	}
+	return &GridGraph{points: ps, index: index}
+}
+
+// N returns the number of vertices.
+func (g *GridGraph) N() int { return len(g.points) }
+
+// Point returns the lattice coordinates of vertex i.
+func (g *GridGraph) Point(i int) Point { return g.points[i] }
+
+// Points returns a copy of the vertex set in canonical order.
+func (g *GridGraph) Points() []Point {
+	ps := make([]Point, len(g.points))
+	copy(ps, g.points)
+	return ps
+}
+
+// Index returns the vertex index of p and whether p is a vertex.
+func (g *GridGraph) Index(p Point) (int, bool) {
+	i, ok := g.index[p]
+	return i, ok
+}
+
+// Contains reports whether p is a vertex.
+func (g *GridGraph) Contains(p Point) bool {
+	_, ok := g.index[p]
+	return ok
+}
+
+// Graph converts the grid graph to a generic Graph with the induced
+// lattice edges.
+func (g *GridGraph) Graph() *Graph {
+	gr := NewGraph(g.N())
+	for i, p := range g.points {
+		for _, q := range []Point{{p.X + 1, p.Y}, {p.X, p.Y + 1}} {
+			if j, ok := g.index[q]; ok {
+				gr.AddEdge(i, j)
+			}
+		}
+	}
+	return gr
+}
+
+// Neighbors returns the indices of the (up to four) lattice neighbors of
+// vertex i that are vertices of the grid graph.
+func (g *GridGraph) Neighbors(i int) []int {
+	p := g.points[i]
+	var out []int
+	for _, q := range []Point{{p.X - 1, p.Y}, {p.X + 1, p.Y}, {p.X, p.Y - 1}, {p.X, p.Y + 1}} {
+		if j, ok := g.index[q]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Bounds returns the inclusive bounding rectangle of the vertex set.
+func (g *GridGraph) Bounds() (minX, minY, maxX, maxY int) {
+	if g.N() == 0 {
+		return 0, 0, -1, -1
+	}
+	minX, maxX = g.points[0].X, g.points[0].X
+	minY, maxY = g.points[0].Y, g.points[0].Y
+	for _, p := range g.points {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	return
+}
+
+// CornerVertex returns the vertex u selected by Lemma 4.1: the vertex with
+// minimum x-coordinate, and among those, minimum y-coordinate. It panics
+// on an empty graph.
+func (g *GridGraph) CornerVertex() int {
+	if g.N() == 0 {
+		panic("graphx: corner vertex of empty grid graph")
+	}
+	best := 0
+	for i, p := range g.points {
+		bp := g.points[best]
+		if p.X < bp.X || (p.X == bp.X && p.Y < bp.Y) {
+			best = i
+		}
+	}
+	return best
+}

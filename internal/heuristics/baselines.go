@@ -1,0 +1,234 @@
+package heuristics
+
+import (
+	"sort"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/graphx"
+	"multicastnet/internal/topology"
+)
+
+// MultiUnicastTraffic returns the traffic of implementing the multicast as
+// k separate one-to-one messages along deterministic shortest paths — the
+// "multiple one-to-one" baseline of Figures 7.1–7.5. Each message over
+// each link counts one unit, so shared links are paid once per message.
+func MultiUnicastTraffic(t topology.Topology, k core.MulticastSet) int {
+	total := 0
+	for _, d := range k.Dests {
+		total += t.Distance(k.Source, d)
+	}
+	return total
+}
+
+// BroadcastTraffic returns the traffic of delivering the message to every
+// node over a network spanning tree — the "broadcast" baseline: N-1 links
+// regardless of the destination count.
+func BroadcastTraffic(t topology.Topology) int { return t.Nodes() - 1 }
+
+// LEN runs the greedy multicast-tree heuristic of Lan, Esfahanian, and Ni
+// [20] on a hypercube, the published baseline of Fig. 7.4. At each node
+// the destinations are repeatedly assigned to the dimension that covers
+// the most of them: the subset of destinations whose address differs in
+// the chosen bit is forwarded to that neighbor. Every destination travels
+// a shortest path, so the pattern is a multicast tree.
+func LEN(h *topology.Hypercube, k core.MulticastSet) *STResult {
+	res := newSTResult()
+	destSet := k.DestSet()
+
+	type message struct {
+		at    topology.NodeID
+		depth int
+		dests []topology.NodeID
+	}
+	queue := []message{{at: k.Source, depth: 0, dests: k.Dests}}
+	for len(queue) > 0 {
+		msg := queue[0]
+		queue = queue[1:]
+		u := msg.at
+		remaining := make([]topology.NodeID, 0, len(msg.dests))
+		for _, d := range msg.dests {
+			if d == u {
+				if destSet[d] {
+					if _, seen := res.Delivered[d]; !seen {
+						res.Delivered[d] = msg.depth
+					}
+				}
+				continue
+			}
+			remaining = append(remaining, d)
+		}
+		for len(remaining) > 0 {
+			// Choose the dimension covering the most remaining
+			// destinations (lowest dimension on ties).
+			bestDim, bestCount := -1, 0
+			for b := 0; b < h.Dim; b++ {
+				count := 0
+				for _, d := range remaining {
+					if (u^d)>>b&1 == 1 {
+						count++
+					}
+				}
+				if count > bestCount {
+					bestDim, bestCount = b, count
+				}
+			}
+			next := u ^ topology.NodeID(1<<bestDim)
+			var sub, rest []topology.NodeID
+			for _, d := range remaining {
+				if (u^d)>>bestDim&1 == 1 {
+					sub = append(sub, d)
+				} else {
+					rest = append(rest, d)
+				}
+			}
+			res.send(u, next)
+			queue = append(queue, message{at: next, depth: msg.depth + 1, dests: sub})
+			remaining = rest
+		}
+	}
+	return res
+}
+
+// KMB computes a Steiner tree for terminals in g with the classic
+// Kou–Markowsky–Berman heuristic [55] (2-approximation): build the metric
+// closure over the terminals, take its minimum spanning tree, expand each
+// closure edge into a shortest path, take a spanning tree of the expanded
+// subgraph, and prune non-terminal leaves. It is the general-graph
+// reference against which the topology-aware greedy ST is compared.
+// The returned edges are undirected pairs (u < v).
+func KMB(g *graphx.Graph, terminals []int) [][2]int {
+	if len(terminals) == 0 {
+		return nil
+	}
+	if len(terminals) == 1 {
+		return [][2]int{}
+	}
+	// Metric closure distances from each terminal.
+	dist := make(map[int][]int, len(terminals))
+	for _, t := range terminals {
+		dist[t] = g.BFSDistances(t)
+	}
+	// Prim's MST over the terminal closure.
+	inTree := map[int]bool{terminals[0]: true}
+	type cedge struct{ u, v int }
+	var closure []cedge
+	for len(inTree) < len(terminals) {
+		best := cedge{-1, -1}
+		bestD := -1
+		for t := range inTree {
+			for _, s := range terminals {
+				if inTree[s] {
+					continue
+				}
+				if d := dist[t][s]; d >= 0 && (bestD < 0 || d < bestD) {
+					best, bestD = cedge{t, s}, d
+				}
+			}
+		}
+		if best.u < 0 {
+			panic("heuristics: KMB terminals not connected")
+		}
+		closure = append(closure, best)
+		inTree[best.v] = true
+	}
+	// Expand closure edges into shortest paths; collect subgraph edges.
+	type uedge [2]int
+	sub := make(map[uedge]bool)
+	for _, ce := range closure {
+		p := g.ShortestPath(ce.u, ce.v)
+		for i := 1; i < len(p); i++ {
+			a, b := p[i-1], p[i]
+			if a > b {
+				a, b = b, a
+			}
+			sub[uedge{a, b}] = true
+		}
+	}
+	// Spanning tree of the expanded subgraph (BFS from a terminal).
+	adj := make(map[int][]int)
+	for e := range sub {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for _, l := range adj {
+		sort.Ints(l)
+	}
+	parent := map[int]int{terminals[0]: -1}
+	queue := []int{terminals[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if _, seen := parent[v]; !seen {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	tree := make(map[uedge]bool)
+	deg := make(map[int]int)
+	for v, p := range parent {
+		if p < 0 {
+			continue
+		}
+		a, b := v, p
+		if a > b {
+			a, b = b, a
+		}
+		tree[uedge{a, b}] = true
+		deg[a]++
+		deg[b]++
+	}
+	// Prune non-terminal leaves repeatedly.
+	isTerminal := make(map[int]bool, len(terminals))
+	for _, t := range terminals {
+		isTerminal[t] = true
+	}
+	for {
+		removed := false
+		for e := range tree {
+			for _, end := range []int{e[0], e[1]} {
+				if deg[end] == 1 && !isTerminal[end] {
+					delete(tree, e)
+					deg[e[0]]--
+					deg[e[1]]--
+					removed = true
+					break
+				}
+			}
+			if removed {
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	out := make([][2]int, 0, len(tree))
+	for e := range tree {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// TopologyGraph converts a Topology into a graphx.Graph (used to run the
+// general-graph baselines on the paper's host graphs).
+func TopologyGraph(t topology.Topology) *graphx.Graph {
+	g := graphx.NewGraph(t.Nodes())
+	var buf []topology.NodeID
+	for v := topology.NodeID(0); int(v) < t.Nodes(); v++ {
+		buf = t.Neighbors(v, buf[:0])
+		for _, w := range buf {
+			if v < w {
+				g.AddEdge(int(v), int(w))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,42 @@
+package heuristics_test
+
+import (
+	"fmt"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/heuristics"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/topology"
+)
+
+// ExampleSortedMP reproduces Fig. 5.7.
+func ExampleSortedMP() {
+	m := topology.NewMesh2D(4, 4)
+	c, _ := labeling.MeshHamiltonCycle(m)
+	k := core.MustMulticastSet(m, 9, []topology.NodeID{0, 1, 6, 12})
+	fmt.Println(heuristics.SortedMP(m, c, k).Nodes)
+	// Output: [9 13 12 8 4 0 1 2 6]
+}
+
+// ExampleGreedyST reproduces the Fig. 5.9 Steiner tree traffic.
+func ExampleGreedyST() {
+	m := topology.NewMesh2D(8, 8)
+	k := core.MustMulticastSet(m, m.ID(2, 7), []topology.NodeID{
+		m.ID(0, 5), m.ID(2, 3), m.ID(4, 1), m.ID(6, 3), m.ID(7, 4)})
+	res := heuristics.GreedyST(m, k)
+	fmt.Printf("%d channels (one-to-one would use %d)\n",
+		res.Links, heuristics.MultiUnicastTraffic(m, k))
+	// Output: 14 channels (one-to-one would use 32)
+}
+
+// ExampleDividedGreedyMT contrasts the two multicast tree algorithms on
+// the Section 5.4 worked example.
+func ExampleDividedGreedyMT() {
+	m := topology.NewMesh2D(6, 6)
+	k := core.MustMulticastSet(m, m.ID(3, 2), []topology.NodeID{
+		m.ID(2, 0), m.ID(3, 0), m.ID(4, 0), m.ID(1, 1), m.ID(5, 1),
+		m.ID(0, 2), m.ID(1, 3), m.ID(2, 5), m.ID(3, 5), m.ID(5, 5)})
+	fmt.Printf("X-first: %d channels, divided greedy: %d channels\n",
+		heuristics.XFirstMT(m, k).Links, heuristics.DividedGreedyMT(m, k).Links)
+	// Output: X-first: 23 channels, divided greedy: 17 channels
+}

@@ -1,0 +1,387 @@
+package heuristics
+
+import (
+	"fmt"
+	"sort"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/topology"
+)
+
+// RegionTopology is the topology contract of the greedy ST algorithm: it
+// needs constant-time location of the node nearest to a target among all
+// nodes on shortest paths between two ends (Section 5.2).
+type RegionTopology interface {
+	topology.Topology
+	topology.ShortestRegion
+}
+
+// STResult is the routing pattern produced by a multicast tree/subgraph
+// algorithm under distributed execution: the multiset of link
+// transmissions and per-destination delivery depths.
+type STResult struct {
+	// Links counts message transmissions over links — the traffic metric
+	// of Chapter 7.
+	Links int
+	// Edges maps each directed link (from, to) to the number of message
+	// copies sent over it.
+	Edges map[[2]topology.NodeID]int
+	// Delivered maps each destination to the hop count at which its copy
+	// arrived.
+	Delivered map[topology.NodeID]int
+}
+
+func newSTResult() *STResult {
+	return &STResult{
+		Edges:     make(map[[2]topology.NodeID]int),
+		Delivered: make(map[topology.NodeID]int),
+	}
+}
+
+func (r *STResult) send(from, to topology.NodeID) {
+	r.Edges[[2]topology.NodeID{from, to}]++
+	r.Links++
+}
+
+// MaxDepth returns the largest delivery depth.
+func (r *STResult) MaxDepth() int {
+	maxd := 0
+	for _, d := range r.Delivered {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// Validate checks that every destination received the message and that
+// every used link is a host-graph edge.
+func (r *STResult) Validate(t topology.Topology, k core.MulticastSet) error {
+	for _, d := range k.Dests {
+		if _, ok := r.Delivered[d]; !ok {
+			return fmt.Errorf("heuristics: destination %d never delivered", d)
+		}
+	}
+	for e := range r.Edges {
+		if !t.Adjacent(e[0], e[1]) {
+			return fmt.Errorf("heuristics: transmission over non-edge (%d,%d)", e[0], e[1])
+		}
+	}
+	return nil
+}
+
+// IsTreePattern reports whether the used links, viewed as undirected
+// edges, form a tree (each link used once, connected, acyclic).
+func (r *STResult) IsTreePattern() bool {
+	und := make(map[[2]topology.NodeID]bool)
+	nodes := make(map[topology.NodeID]int)
+	nextIdx := 0
+	idx := func(v topology.NodeID) int {
+		if i, ok := nodes[v]; ok {
+			return i
+		}
+		nodes[v] = nextIdx
+		nextIdx++
+		return nodes[v]
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	for e, n := range r.Edges {
+		if n != 1 {
+			return false
+		}
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]topology.NodeID{a, b}
+		if und[key] {
+			return false // link used in both directions
+		}
+		und[key] = true
+		edges = append(edges, edge{idx(a), idx(b)})
+	}
+	if len(edges) != len(nodes)-1 {
+		return false
+	}
+	// Union-find connectivity check.
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+	}
+	return true
+}
+
+// stTree is the contracted Steiner tree built by the greedy ST message
+// routing (Step 3-4 of Fig. 5.4): edges connect tree nodes along shortest
+// path regions of the host graph.
+type stTree struct {
+	edges [][2]topology.NodeID // insertion-ordered for determinism
+	nodes map[topology.NodeID]bool
+}
+
+func (tr *stTree) addEdge(a, b topology.NodeID) {
+	if tr.nodes == nil {
+		tr.nodes = make(map[topology.NodeID]bool)
+	}
+	tr.edges = append(tr.edges, [2]topology.NodeID{a, b})
+	tr.nodes[a] = true
+	tr.nodes[b] = true
+}
+
+func (tr *stTree) contains(v topology.NodeID) bool { return tr.nodes[v] }
+
+// adjacency returns the contracted-tree neighbors of v.
+func (tr *stTree) adjacency(v topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	for _, e := range tr.edges {
+		if e[0] == v {
+			out = append(out, e[1])
+		} else if e[1] == v {
+			out = append(out, e[0])
+		}
+	}
+	return out
+}
+
+// subtreeNodes returns all nodes in the subtree containing start when the
+// edge back to parent is removed.
+func (tr *stTree) subtreeNodes(start, parent topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	var rec func(v, from topology.NodeID)
+	rec = func(v, from topology.NodeID) {
+		out = append(out, v)
+		for _, w := range tr.adjacency(v) {
+			if w != from {
+				rec(w, v)
+			}
+		}
+	}
+	rec(start, parent)
+	return out
+}
+
+// GreedySTPrepare is the message-preparation part (Fig. 5.3): sort the
+// destinations in ascending order of distance from the source.
+func GreedySTPrepare(t topology.Topology, k core.MulticastSet) []topology.NodeID {
+	d := make([]topology.NodeID, len(k.Dests))
+	copy(d, k.Dests)
+	sort.SliceStable(d, func(i, j int) bool {
+		di := t.Distance(k.Source, d[i])
+		dj := t.Distance(k.Source, d[j])
+		if di != dj {
+			return di < dj
+		}
+		return d[i] < d[j] // deterministic tie-break; paper allows any order
+	})
+	return d
+}
+
+// greedySTSplit is the replicate-node computation (Steps 3-5 of Fig. 5.4)
+// at node u with remaining destinations dests (u excluded): it builds the
+// local greedy Steiner tree and returns, for each son r of u, the sublist
+// (r, destinations in r's subtree).
+func greedySTSplit(t RegionTopology, u topology.NodeID, dests []topology.NodeID) [][]topology.NodeID {
+	tr := &stTree{}
+	tr.addEdge(u, dests[0])
+	for i := 1; i < len(dests); i++ {
+		ui := dests[i]
+		if tr.contains(ui) {
+			continue // already a tree node (e.g. a Steiner point that is also a destination)
+		}
+		// Step 4(a)-(b): the nearest node to ui over all shortest-path
+		// regions of current tree edges.
+		var (
+			bestV    topology.NodeID
+			bestEdge int
+			bestD    = -1
+		)
+		for ei, e := range tr.edges {
+			v := t.NearestOnShortestPaths(e[0], e[1], ui)
+			if d := t.Distance(ui, v); bestD < 0 || d < bestD {
+				bestV, bestEdge, bestD = v, ei, d
+			}
+		}
+		e := tr.edges[bestEdge]
+		if bestV != e[0] && bestV != e[1] {
+			// Step 4(c): split edge (s,t) at v.
+			tr.edges[bestEdge] = [2]topology.NodeID{e[0], bestV}
+			tr.addEdge(bestV, e[1])
+		}
+		if ui != bestV {
+			// Step 4(d).
+			tr.addEdge(bestV, ui)
+		}
+	}
+	// Step 5: one sublist per son of u.
+	destSet := make(map[topology.NodeID]bool, len(dests))
+	for _, d := range dests {
+		destSet[d] = true
+	}
+	var out [][]topology.NodeID
+	for _, r := range tr.adjacency(u) {
+		sub := tr.subtreeNodes(r, u)
+		list := []topology.NodeID{r}
+		// Keep the original sorted order for the carried destinations.
+		inSub := make(map[topology.NodeID]bool, len(sub))
+		for _, v := range sub {
+			inSub[v] = true
+		}
+		for _, d := range dests {
+			if d != r && inSub[d] {
+				list = append(list, d)
+			}
+		}
+		out = append(out, list)
+	}
+	return out
+}
+
+// GreedySTCarried runs the greedy ST algorithm in the paper's alternative
+// implementation (end of Section 5.2): the source computes the complete
+// greedy Steiner tree once and passes it in the message, so replicate
+// nodes need no recomputation. The tree construction is identical
+// (Steps 3–4 of Fig. 5.4 over the whole sorted destination list); each
+// contracted tree edge is realized by a shortest path, so the total
+// traffic is the sum of the contracted edge lengths. This is the variant
+// used for the large Fig. 7.3/7.4 sweeps, where per-hop recomputation
+// (O(k^2) at every replicate node) would dominate.
+func GreedySTCarried(t RegionTopology, k core.MulticastSet) *STResult {
+	res := newSTResult()
+	dests := GreedySTPrepare(t, k)
+	destSet := k.DestSet()
+
+	// Build the complete contracted tree at the source.
+	tr := &stTree{}
+	tr.addEdge(k.Source, dests[0])
+	for i := 1; i < len(dests); i++ {
+		ui := dests[i]
+		if tr.contains(ui) {
+			continue
+		}
+		var (
+			bestV    topology.NodeID
+			bestEdge int
+			bestD    = -1
+		)
+		for ei, e := range tr.edges {
+			v := t.NearestOnShortestPaths(e[0], e[1], ui)
+			if d := t.Distance(ui, v); bestD < 0 || d < bestD {
+				bestV, bestEdge, bestD = v, ei, d
+			}
+		}
+		e := tr.edges[bestEdge]
+		if bestV != e[0] && bestV != e[1] {
+			tr.edges[bestEdge] = [2]topology.NodeID{e[0], bestV}
+			tr.addEdge(bestV, e[1])
+		}
+		if ui != bestV {
+			tr.addEdge(bestV, ui)
+		}
+	}
+
+	// Walk the contracted tree from the source, realizing each edge by a
+	// shortest path and accounting traffic and delivery depths.
+	if destSet[k.Source] {
+		res.Delivered[k.Source] = 0
+	}
+	type visit struct {
+		node   topology.NodeID
+		parent topology.NodeID
+		depth  int
+	}
+	router, err := core.RouterFor(t)
+	if err != nil {
+		panic(err)
+	}
+	stack := []visit{{node: k.Source, parent: k.Source, depth: 0}}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if destSet[cur.node] {
+			if _, seen := res.Delivered[cur.node]; !seen {
+				res.Delivered[cur.node] = cur.depth
+			}
+		}
+		for _, next := range tr.adjacency(cur.node) {
+			if next == cur.parent {
+				continue // the root's sentinel parent is itself, never adjacent
+			}
+			p := core.UnicastPath(router, cur.node, next)
+			for i := 1; i < len(p); i++ {
+				res.send(p[i-1], p[i])
+			}
+			stack = append(stack, visit{node: next, parent: cur.node, depth: cur.depth + len(p) - 1})
+		}
+	}
+	return res
+}
+
+// GreedyST runs the greedy ST algorithm of Section 5.2 under distributed
+// execution and returns the delivered routing pattern. Bypass nodes
+// forward the message one hop along a shortest path toward the sublist
+// head using the topology's deterministic unicast router; replicate nodes
+// rebuild the greedy Steiner subtree over their sublist and split it among
+// their sons (Fig. 5.4).
+func GreedyST(t RegionTopology, k core.MulticastSet) *STResult {
+	router, err := core.RouterFor(t)
+	if err != nil {
+		panic(err)
+	}
+	res := newSTResult()
+	destSet := k.DestSet()
+
+	// A message is (current node, hop depth, list) with list[0] the
+	// replicate target.
+	type message struct {
+		at    topology.NodeID
+		depth int
+		list  []topology.NodeID
+	}
+	queue := []message{{at: k.Source, depth: 0, list: append([]topology.NodeID{k.Source}, GreedySTPrepare(t, k)...)}}
+	for len(queue) > 0 {
+		msg := queue[0]
+		queue = queue[1:]
+		u := msg.list[0]
+		if msg.at != u {
+			// Step 1: bypass node; forward toward u.
+			next := router.NextHopUnicast(msg.at, u)
+			res.send(msg.at, next)
+			queue = append(queue, message{at: next, depth: msg.depth + 1, list: msg.list})
+			continue
+		}
+		// Arrived at the replicate target: deliver if it is a
+		// destination.
+		if destSet[u] {
+			if _, seen := res.Delivered[u]; !seen {
+				res.Delivered[u] = msg.depth
+			}
+		}
+		rest := msg.list[1:]
+		if len(rest) == 0 {
+			continue // Step 2
+		}
+		for _, sub := range greedySTSplit(t, u, rest) {
+			r := sub[0]
+			next := router.NextHopUnicast(u, r)
+			res.send(u, next)
+			queue = append(queue, message{at: next, depth: msg.depth + 1, list: sub})
+		}
+	}
+	return res
+}

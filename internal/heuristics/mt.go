@@ -1,0 +1,316 @@
+package heuristics
+
+import (
+	"multicastnet/internal/core"
+	"multicastnet/internal/topology"
+)
+
+// XFirstMT runs the X-first multicast algorithm of Fig. 5.5 on a 2D mesh:
+// the natural multicast extension of XY unicast routing. Every
+// destination is reached along its X-first shortest path; paths sharing a
+// prefix share channels, so the pattern is a multicast tree (Theorem 5.3).
+func XFirstMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
+	res := newSTResult()
+	destSet := k.DestSet()
+
+	type message struct {
+		at    topology.NodeID
+		depth int
+		dests []topology.NodeID
+	}
+	queue := []message{{at: k.Source, depth: 0, dests: k.Dests}}
+	for len(queue) > 0 {
+		msg := queue[0]
+		queue = queue[1:]
+		x0, y0 := m.XY(msg.at)
+		var dPlusX, dMinusX, dPlusY, dMinusY []topology.NodeID
+		for _, d := range msg.dests {
+			x, y := m.XY(d)
+			switch {
+			case x > x0:
+				dPlusX = append(dPlusX, d)
+			case x < x0:
+				dMinusX = append(dMinusX, d)
+			case y > y0:
+				dPlusY = append(dPlusY, d)
+			case y < y0:
+				dMinusY = append(dMinusY, d)
+			default:
+				if destSet[d] {
+					if _, seen := res.Delivered[d]; !seen {
+						res.Delivered[d] = msg.depth
+					}
+				}
+			}
+		}
+		forward := func(dests []topology.NodeID, nx, ny int) {
+			if len(dests) == 0 {
+				return
+			}
+			next := m.ID(nx, ny)
+			res.send(msg.at, next)
+			queue = append(queue, message{at: next, depth: msg.depth + 1, dests: dests})
+		}
+		forward(dPlusX, x0+1, y0)
+		forward(dMinusX, x0-1, y0)
+		forward(dPlusY, x0, y0+1)
+		forward(dMinusY, x0, y0-1)
+	}
+	return res
+}
+
+// trunkAxis is the one-bit routing control field a divided-greedy message
+// carries: which dimension its group travels first.
+type trunkAxis uint8
+
+const (
+	trunkX trunkAxis = iota // advance along X; peel same-column destinations off as Y groups
+	trunkY                  // advance along Y; peel same-row destinations off as X groups
+)
+
+// DividedGreedyMT runs the divided greedy multicast algorithm of Fig. 5.6
+// on a 2D mesh. The source divides the destinations into the four axis
+// directions and four quadrant sets P_0 (NE), P_1 (NW), P_2 (SW), P_3
+// (SE); each quadrant set is divided into an x-leaning subset S_ix and a
+// y-leaning subset S_iy by which axis has the larger remaining distance,
+// and subsets are paired onto the outgoing directions (S_0x and S_3x feed
+// +X, S_0y and S_1y feed +Y, and so on). When one of the two candidate
+// subsets of an X direction is empty, its partner is rerouted through its
+// quadrant's Y direction instead of opening an extra branch — the
+// behaviour of the Section 5.4 worked example. Each dispatched group then
+// routes dimension-ordered with its assigned trunk dimension first (the
+// one-bit routing control field of the hybrid scheme), so groups share a
+// trunk and peel off one destination set per crossing row/column; every
+// delivery is via a shortest path, giving the multicast tree of
+// Theorem 5.4.
+func DividedGreedyMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
+	res := newSTResult()
+	destSet := k.DestSet()
+
+	type message struct {
+		at    topology.NodeID
+		depth int
+		axis  trunkAxis
+		dests []topology.NodeID
+	}
+	var queue []message
+
+	deliver := func(d topology.NodeID, depth int) {
+		if destSet[d] {
+			if _, seen := res.Delivered[d]; !seen {
+				res.Delivered[d] = depth
+			}
+		}
+	}
+	// forward dispatches a group one hop and enqueues the remainder.
+	forward := func(from topology.NodeID, depth int, axis trunkAxis, dests []topology.NodeID, nx, ny int) {
+		if len(dests) == 0 {
+			return
+		}
+		next := m.ID(nx, ny)
+		res.send(from, next)
+		queue = append(queue, message{at: next, depth: depth + 1, axis: axis, dests: dests})
+	}
+
+	// Source-node division (Steps 3-5 of Fig. 5.6).
+	x0, y0 := m.XY(k.Source)
+	var dPlusX, dMinusX, dPlusY, dMinusY []topology.NodeID
+	var sx, sy [4][]topology.NodeID // quadrant subsets, 0=NE 1=NW 2=SW 3=SE
+	for _, d := range k.Dests {
+		x, y := m.XY(d)
+		dx, dy := x-x0, y-y0
+		switch {
+		case dx == 0 && dy == 0:
+			deliver(d, 0)
+		case dy == 0 && dx > 0:
+			dPlusX = append(dPlusX, d)
+		case dy == 0 && dx < 0:
+			dMinusX = append(dMinusX, d)
+		case dx == 0 && dy > 0:
+			dPlusY = append(dPlusY, d)
+		case dx == 0 && dy < 0:
+			dMinusY = append(dMinusY, d)
+		default:
+			var q int
+			switch {
+			case dx > 0 && dy > 0:
+				q = 0
+			case dx < 0 && dy > 0:
+				q = 1
+			case dx < 0 && dy < 0:
+				q = 2
+			default:
+				q = 3
+			}
+			if abs(dx) >= abs(dy) {
+				sx[q] = append(sx[q], d)
+			} else {
+				sy[q] = append(sy[q], d)
+			}
+		}
+	}
+	pairX := func(a, b int) []topology.NodeID {
+		switch {
+		case len(sx[a]) > 0 && len(sx[b]) > 0:
+			return append(append([]topology.NodeID{}, sx[a]...), sx[b]...)
+		case len(sx[a]) > 0:
+			sy[a] = append(sy[a], sx[a]...)
+			return nil
+		case len(sx[b]) > 0:
+			sy[b] = append(sy[b], sx[b]...)
+			return nil
+		default:
+			return nil
+		}
+	}
+	dPlusX = append(dPlusX, pairX(0, 3)...)
+	dMinusX = append(dMinusX, pairX(1, 2)...)
+	dPlusY = append(append(dPlusY, sy[0]...), sy[1]...)
+	dMinusY = append(append(dMinusY, sy[2]...), sy[3]...)
+	forward(k.Source, 0, trunkX, dPlusX, x0+1, y0)
+	forward(k.Source, 0, trunkX, dMinusX, x0-1, y0)
+	forward(k.Source, 0, trunkY, dPlusY, x0, y0+1)
+	forward(k.Source, 0, trunkY, dMinusY, x0, y0-1)
+
+	// Trunk routing at forward nodes: advance the trunk dimension, peel
+	// destinations whose trunk coordinate matches into cross groups.
+	for len(queue) > 0 {
+		msg := queue[0]
+		queue = queue[1:]
+		cx, cy := m.XY(msg.at)
+		var onward, crossPlus, crossMinus []topology.NodeID
+		for _, d := range msg.dests {
+			x, y := m.XY(d)
+			if msg.axis == trunkX {
+				switch {
+				case x == cx && y == cy:
+					deliver(d, msg.depth)
+				case x == cx && y > cy:
+					crossPlus = append(crossPlus, d)
+				case x == cx && y < cy:
+					crossMinus = append(crossMinus, d)
+				default:
+					onward = append(onward, d)
+				}
+			} else {
+				switch {
+				case x == cx && y == cy:
+					deliver(d, msg.depth)
+				case y == cy && x > cx:
+					crossPlus = append(crossPlus, d)
+				case y == cy && x < cx:
+					crossMinus = append(crossMinus, d)
+				default:
+					onward = append(onward, d)
+				}
+			}
+		}
+		if msg.axis == trunkX {
+			forward(msg.at, msg.depth, trunkY, crossPlus, cx, cy+1)
+			forward(msg.at, msg.depth, trunkY, crossMinus, cx, cy-1)
+			if len(onward) > 0 {
+				// All onward destinations lie strictly on one side of
+				// this column: the trunk was dispatched toward them.
+				ox, _ := m.XY(onward[0])
+				if ox > cx {
+					forward(msg.at, msg.depth, trunkX, onward, cx+1, cy)
+				} else {
+					forward(msg.at, msg.depth, trunkX, onward, cx-1, cy)
+				}
+			}
+		} else {
+			forward(msg.at, msg.depth, trunkX, crossPlus, cx+1, cy)
+			forward(msg.at, msg.depth, trunkX, crossMinus, cx-1, cy)
+			if len(onward) > 0 {
+				_, oy := m.XY(onward[0])
+				if oy > cy {
+					forward(msg.at, msg.depth, trunkY, onward, cx, cy+1)
+				} else {
+					forward(msg.at, msg.depth, trunkY, onward, cx, cy-1)
+				}
+			}
+		}
+	}
+	return res
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// XYZFirstMT extends the X-first multicast tree to the 3D mesh of
+// Section 4.3: destinations are resolved dimension by dimension (X, then
+// Y, then Z), sharing channel prefixes, so every destination is reached
+// along its dimension-ordered shortest path.
+func XYZFirstMT(m *topology.Mesh3D, k core.MulticastSet) *STResult {
+	res := newSTResult()
+	destSet := k.DestSet()
+
+	type message struct {
+		at    topology.NodeID
+		depth int
+		dests []topology.NodeID
+	}
+	queue := []message{{at: k.Source, depth: 0, dests: k.Dests}}
+	for len(queue) > 0 {
+		msg := queue[0]
+		queue = queue[1:]
+		x0, y0, z0 := m.XYZ(msg.at)
+		// Six direction buckets, resolved in fixed X, Y, Z order for
+		// deterministic patterns.
+		var buckets [6][]topology.NodeID
+		for _, d := range msg.dests {
+			x, y, z := m.XYZ(d)
+			switch {
+			case x > x0:
+				buckets[0] = append(buckets[0], d)
+			case x < x0:
+				buckets[1] = append(buckets[1], d)
+			case y > y0:
+				buckets[2] = append(buckets[2], d)
+			case y < y0:
+				buckets[3] = append(buckets[3], d)
+			case z > z0:
+				buckets[4] = append(buckets[4], d)
+			case z < z0:
+				buckets[5] = append(buckets[5], d)
+			default:
+				if destSet[d] {
+					if _, seen := res.Delivered[d]; !seen {
+						res.Delivered[d] = msg.depth
+					}
+				}
+			}
+		}
+		hops := [6]topology.NodeID{}
+		if x0 < m.Width-1 {
+			hops[0] = m.ID(x0+1, y0, z0)
+		}
+		if x0 > 0 {
+			hops[1] = m.ID(x0-1, y0, z0)
+		}
+		if y0 < m.Height-1 {
+			hops[2] = m.ID(x0, y0+1, z0)
+		}
+		if y0 > 0 {
+			hops[3] = m.ID(x0, y0-1, z0)
+		}
+		if z0 < m.Depth-1 {
+			hops[4] = m.ID(x0, y0, z0+1)
+		}
+		if z0 > 0 {
+			hops[5] = m.ID(x0, y0, z0-1)
+		}
+		for i, dests := range buckets {
+			if len(dests) == 0 {
+				continue
+			}
+			res.send(msg.at, hops[i])
+			queue = append(queue, message{at: hops[i], depth: msg.depth + 1, dests: dests})
+		}
+	}
+	return res
+}

@@ -1,0 +1,126 @@
+// Package heuristics implements the basic heuristic multicast routing
+// algorithms of Chapter 5 — sorted MP/MC (Section 5.1), greedy ST
+// (Section 5.2), and the X-first and divided-greedy MT algorithms
+// (Section 5.3) — together with the baselines of the performance study:
+// multiple one-to-one, broadcast, the LEN hypercube heuristic [20], and
+// the KMB Steiner heuristic [55].
+//
+// Each algorithm is written in the paper's hybrid distributed style: a
+// message-preparation step at the source computes the routing control
+// field carried in the message header, and a message-routing step executed
+// at every forward node decides the next hop(s). The package drives the
+// per-node steps to completion and returns the resulting route object.
+package heuristics
+
+import (
+	"sort"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/topology"
+)
+
+// SortedMPPrepare is the message-preparation part of the sorted MP
+// algorithm (Fig. 5.1): it returns the destination list sorted in
+// ascending order of the cycle key f.
+func SortedMPPrepare(c *labeling.HamiltonCycle, k core.MulticastSet) []topology.NodeID {
+	d := make([]topology.NodeID, len(k.Dests))
+	copy(d, k.Dests)
+	sort.Slice(d, func(i, j int) bool {
+		return c.SortKey(k.Source, d[i]) < c.SortKey(k.Source, d[j])
+	})
+	return d
+}
+
+// sortedMPStep is the message-routing part (Fig. 5.2) executed at node w:
+// given the remaining sorted destination list, it pops w if w is the next
+// destination, then selects the neighbor with the greatest key f not
+// exceeding f(d) for the next destination d. It returns the (possibly
+// shortened) list and the next hop; done is true when the list is empty.
+func sortedMPStep(t topology.Topology, c *labeling.HamiltonCycle, u0 topology.NodeID,
+	w topology.NodeID, dests []topology.NodeID) (next topology.NodeID, rest []topology.NodeID, done bool) {
+
+	rest = dests
+	if len(rest) > 0 && rest[0] == w {
+		rest = rest[1:] // deliver to the local node
+	}
+	if len(rest) == 0 {
+		return 0, nil, true
+	}
+	fd := c.SortKey(u0, rest[0])
+	var (
+		best  topology.NodeID
+		bestF = -1
+	)
+	var buf [32]topology.NodeID
+	for _, p := range t.Neighbors(w, buf[:0]) {
+		if fp := c.SortKey(u0, p); fp <= fd && fp > bestF {
+			best, bestF = p, fp
+		}
+	}
+	if bestF < 0 {
+		// Impossible by Fact 2 of Theorem 5.1 (the cycle successor of w
+		// always qualifies); guard against a corrupted cycle.
+		panic("heuristics: sorted MP routing stuck")
+	}
+	return best, rest, false
+}
+
+// SortedMP runs the sorted MP algorithm of Section 5.1 and returns the
+// multicast path. By Theorem 5.1 the visited edges induce an MP for k:
+// the key f strictly increases along the route, so the path is simple and
+// visits the destinations in sorted order.
+func SortedMP(t topology.Topology, c *labeling.HamiltonCycle, k core.MulticastSet) core.Path {
+	dests := SortedMPPrepare(c, k)
+	w := k.Source
+	path := core.Path{Nodes: []topology.NodeID{w}}
+	for {
+		next, rest, done := sortedMPStep(t, c, k.Source, w, dests)
+		if done {
+			return path
+		}
+		dests = rest
+		w = next
+		path.Nodes = append(path.Nodes, w)
+	}
+}
+
+// SortedMC runs the sorted MC variant of Section 5.1: after the last
+// destination the message continues around the Hamilton cycle back to the
+// source, giving the source a collective acknowledgement (Definition 3.2).
+// The source is treated as a final destination with key m + h(u0).
+func SortedMC(t topology.Topology, c *labeling.HamiltonCycle, k core.MulticastSet) core.Cycle {
+	p := SortedMP(t, c, k)
+	m := c.Len()
+	u0 := k.Source
+	keyBound := m + c.H(u0)
+	key := func(x topology.NodeID) int {
+		if x == u0 {
+			return keyBound
+		}
+		return c.SortKey(u0, x)
+	}
+	w := p.Nodes[len(p.Nodes)-1]
+	nodes := p.Nodes
+	guard := 0
+	for w != u0 {
+		var (
+			best  topology.NodeID
+			bestF = -1
+		)
+		var buf [32]topology.NodeID
+		for _, q := range t.Neighbors(w, buf[:0]) {
+			if fq := key(q); fq <= keyBound && fq > bestF {
+				best, bestF = q, fq
+			}
+		}
+		w = best
+		if w != u0 {
+			nodes = append(nodes, w)
+		}
+		if guard++; guard > m+1 {
+			panic("heuristics: sorted MC failed to close")
+		}
+	}
+	return core.Cycle{Nodes: nodes}
+}

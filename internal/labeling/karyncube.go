@@ -1,0 +1,75 @@
+package labeling
+
+import (
+	"fmt"
+
+	"multicastnet/internal/topology"
+)
+
+// KAryNCubeSerpentine is a Hamiltonian labeling for the general k-ary
+// n-cube of Section 2.1.3: the mixed-radix generalization of the mesh
+// boustrophedon. Digit d_0 sweeps up and down alternately as the higher
+// digits advance through their own serpentine, so consecutive labels
+// differ by one step in exactly one dimension. Wraparound links are
+// simply not used by the label order (a mesh path is also a torus path),
+// so the induced high/low channel networks are acyclic and the dual-path
+// and fixed-path schemes of Chapter 6 carry over to tori unchanged.
+type KAryNCubeSerpentine struct {
+	Cube *topology.KAryNCube
+}
+
+// NewKAryNCubeSerpentine returns the serpentine labeling of c.
+func NewKAryNCubeSerpentine(c *topology.KAryNCube) *KAryNCubeSerpentine {
+	return &KAryNCubeSerpentine{Cube: c}
+}
+
+// N implements Labeling.
+func (l *KAryNCubeSerpentine) N() int { return l.Cube.Nodes() }
+
+// Label implements Labeling. Working from the most significant digit
+// down, each digit is reflected when the (label-order) prefix above it is
+// odd — the mixed-radix reflected code, the radix-k generalization of the
+// binary-reflected Gray decode used for hypercubes.
+func (l *KAryNCubeSerpentine) Label(v topology.NodeID) int {
+	digits := l.Cube.Digits(v)
+	k := l.Cube.K
+	label := 0
+	prefix := 0 // label-order value of the digits above the current one
+	for i := l.Cube.N - 1; i >= 0; i-- {
+		d := digits[i]
+		if prefix%2 == 1 {
+			d = k - 1 - d
+		}
+		label = label*k + d
+		prefix = prefix*k + d
+	}
+	return label
+}
+
+// At implements Labeling: the inverse mixed-radix reflection.
+func (l *KAryNCubeSerpentine) At(label int) topology.NodeID {
+	if label < 0 || label >= l.N() {
+		panic(fmt.Sprintf("labeling: label %d out of range [0,%d)", label, l.N()))
+	}
+	k := l.Cube.K
+	n := l.Cube.N
+	// Extract label digits, most significant first.
+	labDigits := make([]int, n)
+	rest := label
+	for i := 0; i < n; i++ {
+		labDigits[i] = rest % k
+		rest /= k
+	}
+	digits := make([]int, n)
+	prefix := 0
+	for i := n - 1; i >= 0; i-- {
+		d := labDigits[i]
+		if prefix%2 == 1 {
+			digits[i] = k - 1 - d
+		} else {
+			digits[i] = d
+		}
+		prefix = prefix*k + d
+	}
+	return l.Cube.FromDigits(digits)
+}

@@ -1,0 +1,42 @@
+package labeling
+
+import (
+	"testing"
+
+	"multicastnet/internal/topology"
+)
+
+func TestKAryNCubeSerpentineIsHamiltonPath(t *testing.T) {
+	for _, kn := range [][2]int{{3, 2}, {4, 2}, {3, 3}, {5, 2}, {2, 4}, {4, 3}, {7, 1}} {
+		c := topology.NewKAryNCube(kn[0], kn[1])
+		if err := Verify(NewKAryNCubeSerpentine(c), c); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestKAryNCubeSerpentineMatchesGrayForK2(t *testing.T) {
+	// For radix 2 the mixed-radix reflected code IS the binary-reflected
+	// Gray decode, so the serpentine labeling must coincide with the
+	// hypercube labeling of Section 6.3.
+	c := topology.NewKAryNCube(2, 5)
+	h := topology.NewHypercube(5)
+	ls := NewKAryNCubeSerpentine(c)
+	lg := NewHypercubeGray(h)
+	for v := topology.NodeID(0); int(v) < c.Nodes(); v++ {
+		if ls.Label(v) != lg.Label(v) {
+			t.Fatalf("labels differ at node %05b: serpentine %d, gray %d",
+				v, ls.Label(v), lg.Label(v))
+		}
+	}
+}
+
+func TestKAryNCubeSerpentineRoundtrip(t *testing.T) {
+	c := topology.NewKAryNCube(5, 3)
+	l := NewKAryNCubeSerpentine(c)
+	for lab := 0; lab < c.Nodes(); lab++ {
+		if got := l.Label(l.At(lab)); got != lab {
+			t.Fatalf("roundtrip %d -> node %d -> %d", lab, l.At(lab), got)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package labeling implements the Hamiltonian-path node labelings and
+// Hamilton-cycle constructions at the heart of the dissertation's
+// path-based multicast routing (Sections 5.1, 6.2.2, 6.3).
+//
+// A Labeling assigns to every node a distinct integer label in [0, N)
+// such that consecutive labels are adjacent nodes: the label order is a
+// Hamiltonian path of the topology. The labeling splits the (directed)
+// channels into the high-channel network (toward higher labels) and the
+// low-channel network (toward lower labels); each is acyclic, which is
+// what makes the dual-path, multi-path, and fixed-path schemes
+// deadlock-free.
+package labeling
+
+import (
+	"fmt"
+
+	"multicastnet/internal/topology"
+)
+
+// Labeling maps nodes to Hamiltonian-path positions and back.
+type Labeling interface {
+	// N returns the number of nodes labeled.
+	N() int
+	// Label returns the position of v along the Hamiltonian path, in
+	// [0, N).
+	Label(v topology.NodeID) int
+	// At returns the node at the given position.
+	At(label int) topology.NodeID
+}
+
+// Path returns the Hamiltonian path induced by the labeling, as a node
+// sequence ordered by label.
+func Path(l Labeling) []topology.NodeID {
+	seq := make([]topology.NodeID, l.N())
+	for i := range seq {
+		seq[i] = l.At(i)
+	}
+	return seq
+}
+
+// Verify checks that l is a bijection onto [0, N) and that the label order
+// is a Hamiltonian path of t. It returns a descriptive error on the first
+// violation.
+func Verify(l Labeling, t topology.Topology) error {
+	if l.N() != t.Nodes() {
+		return fmt.Errorf("labeling: labels %d nodes, topology has %d", l.N(), t.Nodes())
+	}
+	seen := make([]bool, l.N())
+	for v := topology.NodeID(0); int(v) < t.Nodes(); v++ {
+		lab := l.Label(v)
+		if lab < 0 || lab >= l.N() {
+			return fmt.Errorf("labeling: node %d has out-of-range label %d", v, lab)
+		}
+		if seen[lab] {
+			return fmt.Errorf("labeling: duplicate label %d", lab)
+		}
+		seen[lab] = true
+		if l.At(lab) != v {
+			return fmt.Errorf("labeling: At(Label(%d)) = %d", v, l.At(lab))
+		}
+	}
+	for i := 1; i < l.N(); i++ {
+		if !t.Adjacent(l.At(i-1), l.At(i)) {
+			return fmt.Errorf("labeling: consecutive labels %d,%d map to non-adjacent nodes %d,%d",
+				i-1, i, l.At(i-1), l.At(i))
+		}
+	}
+	return nil
+}
+
+// MeshBoustrophedon is the 2D-mesh label assignment of Section 6.2.2:
+//
+//	l(x, y) = y*n + x         if y is even
+//	l(x, y) = y*n + n - x - 1 if y is odd
+//
+// where n is the mesh width. Rows are traversed left-to-right and
+// right-to-left alternately, so the label order snakes through the mesh.
+type MeshBoustrophedon struct {
+	Mesh *topology.Mesh2D
+}
+
+// NewMeshBoustrophedon returns the boustrophedon labeling of m.
+func NewMeshBoustrophedon(m *topology.Mesh2D) *MeshBoustrophedon {
+	return &MeshBoustrophedon{Mesh: m}
+}
+
+// N implements Labeling.
+func (l *MeshBoustrophedon) N() int { return l.Mesh.Nodes() }
+
+// Label implements Labeling.
+func (l *MeshBoustrophedon) Label(v topology.NodeID) int {
+	x, y := l.Mesh.XY(v)
+	if y%2 == 0 {
+		return y*l.Mesh.Width + x
+	}
+	return y*l.Mesh.Width + l.Mesh.Width - x - 1
+}
+
+// At implements Labeling.
+func (l *MeshBoustrophedon) At(label int) topology.NodeID {
+	if label < 0 || label >= l.N() {
+		panic(fmt.Sprintf("labeling: label %d out of range [0,%d)", label, l.N()))
+	}
+	y := label / l.Mesh.Width
+	r := label % l.Mesh.Width
+	if y%2 == 0 {
+		return l.Mesh.ID(r, y)
+	}
+	return l.Mesh.ID(l.Mesh.Width-r-1, y)
+}
+
+// MeshColumnMajor is the alternative ("poor") label assignment of
+// Fig. 6.10: a boustrophedon over columns instead of rows. It is a valid
+// Hamiltonian labeling — and therefore still deadlock-free — but the
+// routing function R no longer always finds shortest paths on wide meshes,
+// which is the ablation the paper uses to argue that Hamilton-path
+// selection matters.
+type MeshColumnMajor struct {
+	Mesh *topology.Mesh2D
+}
+
+// NewMeshColumnMajor returns the column-major serpentine labeling of m.
+func NewMeshColumnMajor(m *topology.Mesh2D) *MeshColumnMajor {
+	return &MeshColumnMajor{Mesh: m}
+}
+
+// N implements Labeling.
+func (l *MeshColumnMajor) N() int { return l.Mesh.Nodes() }
+
+// Label implements Labeling.
+func (l *MeshColumnMajor) Label(v topology.NodeID) int {
+	x, y := l.Mesh.XY(v)
+	if x%2 == 0 {
+		return x*l.Mesh.Height + y
+	}
+	return x*l.Mesh.Height + l.Mesh.Height - y - 1
+}
+
+// At implements Labeling.
+func (l *MeshColumnMajor) At(label int) topology.NodeID {
+	if label < 0 || label >= l.N() {
+		panic(fmt.Sprintf("labeling: label %d out of range [0,%d)", label, l.N()))
+	}
+	x := label / l.Mesh.Height
+	r := label % l.Mesh.Height
+	if x%2 == 0 {
+		return l.Mesh.ID(x, r)
+	}
+	return l.Mesh.ID(x, l.Mesh.Height-r-1)
+}
+
+// HypercubeGray is the n-cube label assignment of Section 6.3:
+//
+//	l(d_{n-1} ... d_0) = sum_i (c_i XOR d_i) 2^i
+//
+// with c_{n-1} = 0 and c_i the parity of the bits above position i. This
+// is exactly the binary-reflected Gray-code decode: the node whose address
+// is the i-th Gray codeword receives label i, so the label order is the
+// Gray-code Hamiltonian path.
+type HypercubeGray struct {
+	Cube *topology.Hypercube
+}
+
+// NewHypercubeGray returns the Gray-code labeling of h.
+func NewHypercubeGray(h *topology.Hypercube) *HypercubeGray {
+	return &HypercubeGray{Cube: h}
+}
+
+// N implements Labeling.
+func (l *HypercubeGray) N() int { return l.Cube.Nodes() }
+
+// Label implements Labeling.
+func (l *HypercubeGray) Label(v topology.NodeID) int {
+	if v < 0 || int(v) >= l.N() {
+		panic(fmt.Sprintf("labeling: node %d out of range [0,%d)", v, l.N()))
+	}
+	return int(GrayDecode(uint(v)))
+}
+
+// At implements Labeling.
+func (l *HypercubeGray) At(label int) topology.NodeID {
+	if label < 0 || label >= l.N() {
+		panic(fmt.Sprintf("labeling: label %d out of range [0,%d)", label, l.N()))
+	}
+	return topology.NodeID(GrayEncode(uint(label)))
+}
+
+// GrayEncode returns the i-th binary-reflected Gray codeword.
+func GrayEncode(i uint) uint { return i ^ (i >> 1) }
+
+// GrayDecode returns the index of the Gray codeword g: bit i of the result
+// is the XOR of bits n-1..i of g, matching the paper's label formula for
+// the n-cube.
+func GrayDecode(g uint) uint {
+	var out uint
+	for g != 0 {
+		out ^= g
+		g >>= 1
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package labeling
+
+import (
+	"fmt"
+
+	"multicastnet/internal/topology"
+)
+
+// Mesh3DBoustrophedon extends the Section 6.2.2 labeling to the 3D mesh
+// of Section 4.3 (J-machine/MOSAIC style networks): planes are traversed
+// in alternating serpentine order, and alternate planes reverse the whole
+// 2D serpentine, so consecutive labels remain adjacent — a Hamiltonian
+// path of the 3D mesh. The induced high-/low-channel networks are acyclic
+// exactly as in 2D, so dual-path and fixed-path routing carry over
+// unchanged.
+type Mesh3DBoustrophedon struct {
+	Mesh *topology.Mesh3D
+}
+
+// NewMesh3DBoustrophedon returns the plane-serpentine labeling of m.
+func NewMesh3DBoustrophedon(m *topology.Mesh3D) *Mesh3DBoustrophedon {
+	return &Mesh3DBoustrophedon{Mesh: m}
+}
+
+// N implements Labeling.
+func (l *Mesh3DBoustrophedon) N() int { return l.Mesh.Nodes() }
+
+// planeLabel is the 2D boustrophedon position of (x, y) in a
+// Width x Height plane.
+func (l *Mesh3DBoustrophedon) planeLabel(x, y int) int {
+	if y%2 == 0 {
+		return y*l.Mesh.Width + x
+	}
+	return y*l.Mesh.Width + l.Mesh.Width - x - 1
+}
+
+// planeAt inverts planeLabel.
+func (l *Mesh3DBoustrophedon) planeAt(label int) (x, y int) {
+	y = label / l.Mesh.Width
+	r := label % l.Mesh.Width
+	if y%2 == 0 {
+		return r, y
+	}
+	return l.Mesh.Width - r - 1, y
+}
+
+// Label implements Labeling.
+func (l *Mesh3DBoustrophedon) Label(v topology.NodeID) int {
+	x, y, z := l.Mesh.XYZ(v)
+	plane := l.Mesh.Width * l.Mesh.Height
+	p := l.planeLabel(x, y)
+	if z%2 == 1 {
+		p = plane - p - 1 // odd planes walk the serpentine backwards
+	}
+	return z*plane + p
+}
+
+// At implements Labeling.
+func (l *Mesh3DBoustrophedon) At(label int) topology.NodeID {
+	if label < 0 || label >= l.N() {
+		panic(fmt.Sprintf("labeling: label %d out of range [0,%d)", label, l.N()))
+	}
+	plane := l.Mesh.Width * l.Mesh.Height
+	z := label / plane
+	p := label % plane
+	if z%2 == 1 {
+		p = plane - p - 1
+	}
+	x, y := l.planeAt(p)
+	return l.Mesh.ID(x, y, z)
+}

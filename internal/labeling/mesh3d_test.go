@@ -1,0 +1,59 @@
+package labeling
+
+import (
+	"testing"
+
+	"multicastnet/internal/topology"
+)
+
+func TestMesh3DBoustrophedonIsHamiltonPath(t *testing.T) {
+	for _, dims := range [][3]int{
+		{2, 2, 2}, {3, 3, 3}, {4, 3, 2}, {2, 4, 5}, {1, 4, 3}, {4, 1, 3}, {5, 5, 1},
+	} {
+		m := topology.NewMesh3D(dims[0], dims[1], dims[2])
+		if err := Verify(NewMesh3DBoustrophedon(m), m); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestMesh3DLabelPlaneStructure(t *testing.T) {
+	m := topology.NewMesh3D(3, 2, 3)
+	l := NewMesh3DBoustrophedon(m)
+	plane := 3 * 2
+	// Plane z holds exactly the labels [z*plane, (z+1)*plane).
+	for z := 0; z < 3; z++ {
+		for lab := z * plane; lab < (z+1)*plane; lab++ {
+			_, _, gz := m.XYZ(l.At(lab))
+			if gz != z {
+				t.Fatalf("label %d lands in plane %d, want %d", lab, gz, z)
+			}
+		}
+	}
+	// Plane 0 starts at the origin; plane 1 starts directly above plane
+	// 0's last node.
+	if l.At(0) != m.ID(0, 0, 0) {
+		t.Errorf("label 0 at node %d, want origin", l.At(0))
+	}
+	x0, y0, _ := m.XYZ(l.At(plane - 1))
+	x1, y1, _ := m.XYZ(l.At(plane))
+	if x0 != x1 || y0 != y1 {
+		t.Errorf("plane transition not vertical: (%d,%d) -> (%d,%d)", x0, y0, x1, y1)
+	}
+}
+
+func TestMesh3DDegeneratesTo2D(t *testing.T) {
+	// With depth 1 the 3D labeling must coincide with the 2D
+	// boustrophedon.
+	m3 := topology.NewMesh3D(4, 3, 1)
+	m2 := topology.NewMesh2D(4, 3)
+	l3 := NewMesh3DBoustrophedon(m3)
+	l2 := NewMeshBoustrophedon(m2)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			if l3.Label(m3.ID(x, y, 0)) != l2.Label(m2.ID(x, y)) {
+				t.Fatalf("labels disagree at (%d,%d)", x, y)
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package npc makes the NP-completeness reductions of Chapter 4
+// executable. The chapter reduces Hamilton cycle/path problems on grid
+// graphs [51] to the optimal multicast problems on meshes and hypercubes;
+// this package builds those reductions so the equivalences can be checked
+// on small instances:
+//
+//   - MeshInstanceFromGrid embeds a grid graph in a 2D mesh and selects
+//     the multicast set K = V(G) (Theorems 4.1–4.3).
+//   - ExtendGridForPath is the G' corner construction of Lemma 4.1,
+//     adding nodes p, q, t, s so that G has a Hamilton cycle iff G' has a
+//     Hamilton path starting at s.
+//   - CubeEmbedding is the 4-bit-block embedding of Theorem 4.5: grid
+//     vertices become hypercube nodes with pairwise distance 6 when
+//     adjacent and 8 when not, so G has a Hamilton cycle iff the n-cube
+//     has a multicast cycle of length 6k.
+package npc
+
+import (
+	"fmt"
+
+	"multicastnet/internal/graphx"
+	"multicastnet/internal/topology"
+)
+
+// MeshInstance is a multicast-problem instance on a 2D mesh produced from
+// a grid graph.
+type MeshInstance struct {
+	Mesh *topology.Mesh2D
+	// K is the multicast set (the embedded grid vertices); K[i]
+	// corresponds to grid vertex i.
+	K []topology.NodeID
+}
+
+// MeshInstanceFromGrid embeds the grid graph in the smallest enclosing 2D
+// mesh (translating coordinates to non-negative) and returns the
+// multicast set K = V(G). By Theorem 4.1, G has a Hamilton cycle iff the
+// mesh has a multicast cycle for K of length |V(G)|.
+func MeshInstanceFromGrid(g *graphx.GridGraph) MeshInstance {
+	if g.N() == 0 {
+		panic("npc: empty grid graph")
+	}
+	minX, minY, maxX, maxY := g.Bounds()
+	m := topology.NewMesh2D(maxX-minX+1, maxY-minY+1)
+	k := make([]topology.NodeID, g.N())
+	for i := 0; i < g.N(); i++ {
+		p := g.Point(i)
+		k[i] = m.ID(p.X-minX, p.Y-minY)
+	}
+	return MeshInstance{Mesh: m, K: k}
+}
+
+// ExtendGridForPath performs the Lemma 4.1 construction: select the
+// corner vertex u (minimum x, then minimum y), and add the four lattice
+// points
+//
+//	p = (ux-1, uy)   q = (ux-1, uy+1)   t = (ux-2, uy+1)   s = (ux-1, uy-1)
+//
+// It returns G' and the indices of s and t in G'. G has a Hamilton cycle
+// iff G' has a Hamilton path starting from s (which then necessarily ends
+// at t, the degree-1 vertex).
+func ExtendGridForPath(g *graphx.GridGraph) (gp *graphx.GridGraph, sIdx, tIdx int) {
+	u := g.Point(g.CornerVertex())
+	p := graphx.Point{X: u.X - 1, Y: u.Y}
+	q := graphx.Point{X: u.X - 1, Y: u.Y + 1}
+	tt := graphx.Point{X: u.X - 2, Y: u.Y + 1}
+	s := graphx.Point{X: u.X - 1, Y: u.Y - 1}
+	for _, pt := range []graphx.Point{p, q, tt, s} {
+		if g.Contains(pt) {
+			// Cannot happen: all four points are left of the minimum x
+			// column (or below u in the minimum column).
+			panic(fmt.Sprintf("npc: construction point %v already in grid", pt))
+		}
+	}
+	pts := append(g.Points(), p, q, tt, s)
+	gp = graphx.NewGridGraph(pts)
+	sIdx, _ = gp.Index(s)
+	tIdx, _ = gp.Index(tt)
+	return gp, sIdx, tIdx
+}
+
+// CubeEmbedding is the Theorem 4.5 reduction output.
+type CubeEmbedding struct {
+	Cube *topology.Hypercube
+	// K[i] is the hypercube node encoding grid vertex v_i (in the
+	// breadth-first order used by the construction).
+	K []topology.NodeID
+	// Order[i] is the original grid-vertex index of v_i.
+	Order []int
+}
+
+// CubeEmbedding builds the 4-bit-block hypercube embedding of
+// Theorem 4.5 for a connected grid graph with k vertices: an n-cube with
+// n = 4k and nodes u_0..u_{k-1} such that d_H(u_i, u_j) = 6 when
+// (v_i, v_j) is a grid edge and 8 otherwise.
+func NewCubeEmbedding(g *graphx.GridGraph) CubeEmbedding {
+	k := g.N()
+	if k == 0 {
+		panic("npc: empty grid graph")
+	}
+	if 4*k > 62 {
+		// NodeID is an int; 4k bits must fit. Instances beyond ~15
+		// vertices are too large to materialize anyway.
+		panic(fmt.Sprintf("npc: grid with %d vertices needs a %d-cube, too large", k, 4*k))
+	}
+	gr := g.Graph()
+	if !gr.Connected() {
+		panic("npc: grid graph must be connected")
+	}
+	// Breadth-first vertex ordering: v_0, v_1, ... with layer order
+	// preserved (vertices in layer A_p precede those in A_h for p < h).
+	var order []int
+	for _, layer := range gr.BFSLayers(0) {
+		order = append(order, layer...)
+	}
+	posOf := make([]int, k) // grid vertex -> position m in the ordering
+	for m, v := range order {
+		posOf[v] = m
+	}
+
+	h := topology.NewHypercube(4 * k)
+	setBlock := func(addr *uint64, block int, val uint8) {
+		// Block 0 occupies the most significant 4 bits of the address,
+		// matching the paper's left-to-right block notation
+		// b(q) = a_0(q) a_1(q) ... a_{k-1}(q).
+		shift := uint(4 * (k - 1 - block))
+		*addr |= uint64(val) << shift
+	}
+	K := make([]topology.NodeID, k)
+	for m := 0; m < k; m++ {
+		var addr uint64
+		if m == 0 {
+			setBlock(&addr, 0, 0b1111)
+		} else {
+			vm := order[m]
+			// V_m: earlier-ordered grid neighbors of v_m.
+			var vmEarlier []int
+			for _, w := range gr.Neighbors(vm) {
+				if posOf[w] < m {
+					vmEarlier = append(vmEarlier, posOf[w])
+				}
+			}
+			for _, p := range vmEarlier {
+				// U_{p,m}: vertices v_q with p < q < m adjacent to v_p.
+				count := 0
+				for _, w := range gr.Neighbors(order[p]) {
+					if q := posOf[w]; q > p && q < m {
+						count++
+					}
+				}
+				var val uint8
+				switch count {
+				case 0:
+					val = 0b1000
+				case 1:
+					val = 0b0100
+				case 2:
+					val = 0b0010
+				case 3:
+					val = 0b0001
+				default:
+					panic("npc: grid degree exceeds 4")
+				}
+				setBlock(&addr, p, val)
+			}
+			switch len(vmEarlier) {
+			case 1:
+				setBlock(&addr, m, 0b1110)
+			case 2:
+				setBlock(&addr, m, 0b1100)
+			default:
+				panic(fmt.Sprintf("npc: BFS ordering gives %d earlier neighbors at m=%d", len(vmEarlier), m))
+			}
+		}
+		K[m] = topology.NodeID(addr)
+	}
+	return CubeEmbedding{Cube: h, K: K, Order: order}
+}
+
+// VerifyDistances checks the Lemma 4.2/4.3 property on the embedding:
+// d_H(u_i, u_j) is 6 exactly for grid edges and 8 otherwise. It returns a
+// descriptive error on the first violation.
+func (e CubeEmbedding) VerifyDistances(g *graphx.GridGraph) error {
+	gr := g.Graph()
+	posOf := make([]int, g.N())
+	for m, v := range e.Order {
+		posOf[v] = m
+	}
+	for i := 0; i < len(e.K); i++ {
+		for j := i + 1; j < len(e.K); j++ {
+			want := 8
+			if gr.HasEdge(e.Order[i], e.Order[j]) {
+				want = 6
+			}
+			if got := e.Cube.Distance(e.K[i], e.K[j]); got != want {
+				return fmt.Errorf("npc: d_H(u_%d,u_%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// MulticastCycleBound returns the Theorem 4.5 threshold 6k: the n-cube
+// has a multicast cycle for K of length <= 6k iff the grid graph has a
+// Hamilton cycle.
+func (e CubeEmbedding) MulticastCycleBound() int { return 6 * len(e.K) }
+
+// ShortestKCycle computes the exact shortest closed walk visiting all
+// nodes of K in the hypercube metric (Held–Karp over K). With the
+// Theorem 4.5 embedding this equals 6k exactly when the source grid graph
+// is Hamiltonian.
+func (e CubeEmbedding) ShortestKCycle() int {
+	k := len(e.K)
+	if k > 16 {
+		panic("npc: instance too large for exact cycle")
+	}
+	size := 1 << k
+	const inf = 1 << 30
+	dist := make([][]int, k)
+	for i := range dist {
+		dist[i] = make([]int, k)
+		for j := range dist[i] {
+			dist[i][j] = e.Cube.Distance(e.K[i], e.K[j])
+		}
+	}
+	dp := make([][]int, size)
+	for m := range dp {
+		dp[m] = make([]int, k)
+		for i := range dp[m] {
+			dp[m][i] = inf
+		}
+	}
+	dp[1][0] = 0 // start the cycle at u_0
+	for mask := 1; mask < size; mask++ {
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) == 0 || dp[mask][i] == inf {
+				continue
+			}
+			for j := 1; j < k; j++ {
+				if mask&(1<<j) != 0 {
+					continue
+				}
+				nm := mask | 1<<j
+				if cand := dp[mask][i] + dist[i][j]; cand < dp[nm][j] {
+					dp[nm][j] = cand
+				}
+			}
+		}
+	}
+	best := inf
+	for i := 1; i < k; i++ {
+		if dp[size-1][i] != inf {
+			if cand := dp[size-1][i] + dist[i][0]; cand < best {
+				best = cand
+			}
+		}
+	}
+	if k == 1 {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,207 @@
+package npc
+
+import (
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/graphx"
+	"multicastnet/internal/opt"
+	"multicastnet/internal/topology"
+)
+
+// rectGrid builds the full w x h grid graph.
+func rectGrid(w, h int) *graphx.GridGraph {
+	var pts []graphx.Point
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pts = append(pts, graphx.Point{X: x, Y: y})
+		}
+	}
+	return graphx.NewGridGraph(pts)
+}
+
+// lShape is a small non-Hamiltonian grid graph (a 3-vertex L tromino).
+func lShape() *graphx.GridGraph {
+	return graphx.NewGridGraph([]graphx.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}})
+}
+
+// TestMeshInstanceEquivalence checks the Theorem 4.1 equivalence on small
+// grids: the grid has a Hamilton cycle iff the mesh instance has a
+// multicast cycle of length |V(G)|.
+func TestMeshInstanceEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphx.GridGraph
+	}{
+		{"2x2", rectGrid(2, 2)},
+		{"4x3", rectGrid(4, 3)},
+		{"3x3", rectGrid(3, 3)}, // no Hamilton cycle (odd bipartite)
+		{"L", lShape()},
+	}
+	for _, c := range cases {
+		hasHC := c.g.Graph().HamiltonCycle() != nil
+		inst := MeshInstanceFromGrid(c.g)
+		// Use the exact closed-walk solver with K[0] as source.
+		k := core.MustMulticastSet(inst.Mesh, inst.K[0], inst.K[1:])
+		cyc := opt.OptimalCycleLength(inst.Mesh, k)
+		if hasHC && cyc != c.g.N() {
+			t.Errorf("%s: Hamiltonian grid but OMC length %d != %d", c.name, cyc, c.g.N())
+		}
+		if !hasHC && cyc <= c.g.N() {
+			t.Errorf("%s: non-Hamiltonian grid but OMC length %d <= %d", c.name, cyc, c.g.N())
+		}
+	}
+}
+
+// TestExtendGridForPath checks the Lemma 4.1 equivalence: G has a
+// Hamilton cycle iff G' has a Hamilton path from s (ending at t).
+func TestExtendGridForPath(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphx.GridGraph
+	}{
+		{"2x2", rectGrid(2, 2)},
+		{"4x3", rectGrid(4, 3)},
+		{"3x3", rectGrid(3, 3)},
+		{"L", lShape()},
+	}
+	for _, c := range cases {
+		hasHC := c.g.Graph().HamiltonCycle() != nil
+		gp, s, tt := ExtendGridForPath(c.g)
+		gpg := gp.Graph()
+		if gpg.Degree(tt) != 1 {
+			t.Errorf("%s: t has degree %d, want 1", c.name, gpg.Degree(tt))
+		}
+		path := gpg.HamiltonPathFrom(s)
+		if hasHC && path == nil {
+			t.Errorf("%s: Hamiltonian grid but G' has no Hamilton path from s", c.name)
+		}
+		if !hasHC && path != nil {
+			t.Errorf("%s: non-Hamiltonian grid but G' has Hamilton path %v", c.name, path)
+		}
+		if path != nil && path[len(path)-1] != tt {
+			t.Errorf("%s: Hamilton path must end at t", c.name)
+		}
+	}
+}
+
+// TestExample41Embedding reproduces Example 4.1: the 8-vertex grid of
+// Fig. 4.2 (the 2x4 grid, whose BFS layers from the corner are
+// {v0},{v1,v2},{v3,v4},{v5,v6},{v7}) embeds in a 32-cube with pairwise
+// distances 6 on grid edges and 8 otherwise.
+func TestExample41Embedding(t *testing.T) {
+	g := rectGrid(4, 2)
+	e := NewCubeEmbedding(g)
+	if e.Cube.Dim != 32 {
+		t.Fatalf("cube dimension %d, want 32", e.Cube.Dim)
+	}
+	layers := g.Graph().BFSLayers(0)
+	wantSizes := []int{1, 2, 2, 2, 1}
+	for i, w := range wantSizes {
+		if len(layers[i]) != w {
+			t.Fatalf("layer %d size %d, want %d", i, len(layers[i]), w)
+		}
+	}
+	// u_0 must be 1111 followed by zeros (step 1 of the selection).
+	if e.K[0] != topology.NodeID(0b1111)<<28 {
+		t.Errorf("u_0 = %b, want 1111 in the leading block", e.K[0])
+	}
+	if err := e.VerifyDistances(g); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCubeEmbeddingDistances checks the Lemma 4.2/4.3 distance property
+// on several grids.
+func TestCubeEmbeddingDistances(t *testing.T) {
+	for _, g := range []*graphx.GridGraph{rectGrid(2, 2), rectGrid(3, 3), rectGrid(5, 2), lShape()} {
+		e := NewCubeEmbedding(g)
+		if err := e.VerifyDistances(g); err != nil {
+			t.Errorf("%d-vertex grid: %v", g.N(), err)
+		}
+	}
+}
+
+// TestTheorem45Equivalence checks the reduction's headline equivalence:
+// the shortest cycle through K has length 6k iff the grid has a Hamilton
+// cycle (and at least 6k+2 otherwise, since any non-edge hop costs 8).
+func TestTheorem45Equivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphx.GridGraph
+	}{
+		{"2x2", rectGrid(2, 2)},
+		{"4x2", rectGrid(4, 2)},
+		{"3x3", rectGrid(3, 3)},
+		{"L", lShape()},
+	}
+	for _, c := range cases {
+		hasHC := c.g.Graph().HamiltonCycle() != nil
+		e := NewCubeEmbedding(c.g)
+		cyc := e.ShortestKCycle()
+		bound := e.MulticastCycleBound()
+		if hasHC && cyc != bound {
+			t.Errorf("%s: Hamiltonian but K-cycle %d != 6k = %d", c.name, cyc, bound)
+		}
+		if !hasHC && cyc <= bound {
+			t.Errorf("%s: non-Hamiltonian but K-cycle %d <= 6k = %d", c.name, cyc, bound)
+		}
+	}
+}
+
+func TestConstructionGuards(t *testing.T) {
+	for i, fn := range []func(){
+		func() { MeshInstanceFromGrid(graphx.NewGridGraph(nil)) },
+		func() { NewCubeEmbedding(rectGrid(8, 8)) }, // 256-bit cube: too large
+		func() {
+			// Disconnected grid.
+			NewCubeEmbedding(graphx.NewGridGraph([]graphx.Point{{X: 0, Y: 0}, {X: 5, Y: 5}}))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestTheorem42OMPEquivalence makes the Theorem 4.2 reduction executable:
+// embed G' (the Lemma 4.1 extension) in a mesh, take K = V(G') with
+// source s, and check that the optimal multicast path for K has length
+// |V(G')| - 1 exactly when the original grid has a Hamilton cycle.
+func TestTheorem42OMPEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphx.GridGraph
+	}{
+		{"2x2", rectGrid(2, 2)},
+		{"4x3", rectGrid(4, 3)},
+		{"3x3", rectGrid(3, 3)},
+		{"L", lShape()},
+	}
+	for _, c := range cases {
+		hasHC := c.g.Graph().HamiltonCycle() != nil
+		gp, sIdx, _ := ExtendGridForPath(c.g)
+		inst := MeshInstanceFromGrid(gp)
+		src := inst.K[sIdx]
+		var dests []topology.NodeID
+		for i, v := range inst.K {
+			if i != sIdx {
+				dests = append(dests, v)
+			}
+		}
+		k := core.MustMulticastSet(inst.Mesh, src, dests)
+		length, _ := opt.OptimalPathLength(inst.Mesh, k)
+		want := gp.N() - 1
+		if hasHC && length != want {
+			t.Errorf("%s: Hamiltonian grid but OMP length %d != %d", c.name, length, want)
+		}
+		if !hasHC && length <= want {
+			t.Errorf("%s: non-Hamiltonian grid but OMP length %d <= %d", c.name, length, want)
+		}
+	}
+}

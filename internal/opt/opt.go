@@ -1,0 +1,395 @@
+// Package opt provides exact reference solvers for small instances of the
+// Chapter 3 optimization problems — optimal multicast path/cycle orderings
+// (Held–Karp dynamic programming over the destination set) and minimal
+// Steiner trees (Dreyfus–Wagner) — plus brute-force optimal multicast
+// trees. Chapter 4 proves all of these NP-complete, so exponential-time
+// exact solvers for small k are the appropriate calibration references
+// for the Chapter 5 heuristics.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/graphx"
+	"multicastnet/internal/topology"
+)
+
+// maxExactDests bounds the Held–Karp subset DP (2^k states).
+const maxExactDests = 16
+
+// OptimalPathLength returns the length of a shortest walk that starts at
+// the source and visits every destination (the metric-closure relaxation
+// of the OMP problem: node-disjointness is relaxed, so this is a lower
+// bound on any OMP and equals the OMP length whenever the optimal visit
+// order admits vertex-disjoint legs, which is typical on meshes and
+// cubes). It returns the optimal visiting order alongside.
+func OptimalPathLength(t topology.Topology, k core.MulticastSet) (int, []topology.NodeID) {
+	n := len(k.Dests)
+	if n == 0 {
+		return 0, nil
+	}
+	if n > maxExactDests {
+		panic(fmt.Sprintf("opt: %d destinations exceeds exact-solver bound %d", n, maxExactDests))
+	}
+	// dist[i][j]: graph distance between terminal i and j, with index n
+	// for the source.
+	dist := terminalDistances(t, k)
+
+	// Held–Karp: dp[mask][i] = shortest walk from source covering mask,
+	// ending at destination i.
+	size := 1 << n
+	dp := make([][]int, size)
+	parent := make([][]int8, size)
+	for m := range dp {
+		dp[m] = make([]int, n)
+		parent[m] = make([]int8, n)
+		for i := range dp[m] {
+			dp[m][i] = math.MaxInt32
+			parent[m][i] = -1
+		}
+	}
+	for i := 0; i < n; i++ {
+		dp[1<<i][i] = dist[n][i]
+	}
+	for mask := 1; mask < size; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 || dp[mask][i] == math.MaxInt32 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					continue
+				}
+				nm := mask | 1<<j
+				if cand := dp[mask][i] + dist[i][j]; cand < dp[nm][j] {
+					dp[nm][j] = cand
+					parent[nm][j] = int8(i)
+				}
+			}
+		}
+	}
+	best, bestEnd := math.MaxInt32, -1
+	full := size - 1
+	for i := 0; i < n; i++ {
+		if dp[full][i] < best {
+			best, bestEnd = dp[full][i], i
+		}
+	}
+	order := make([]topology.NodeID, 0, n)
+	for mask, i := full, bestEnd; i >= 0; {
+		order = append(order, k.Dests[i])
+		pi := parent[mask][i]
+		mask &^= 1 << i
+		i = int(pi)
+	}
+	// Reverse into visit order.
+	for a, b := 0, len(order)-1; a < b; a, b = a+1, b-1 {
+		order[a], order[b] = order[b], order[a]
+	}
+	return best, order
+}
+
+// OptimalCycleLength returns the length of a shortest closed walk from
+// the source through every destination and back (the metric relaxation of
+// the OMC problem).
+func OptimalCycleLength(t topology.Topology, k core.MulticastSet) int {
+	n := len(k.Dests)
+	if n == 0 {
+		return 0
+	}
+	if n > maxExactDests {
+		panic(fmt.Sprintf("opt: %d destinations exceeds exact-solver bound %d", n, maxExactDests))
+	}
+	dist := terminalDistances(t, k)
+	size := 1 << n
+	dp := make([][]int, size)
+	for m := range dp {
+		dp[m] = make([]int, n)
+		for i := range dp[m] {
+			dp[m][i] = math.MaxInt32
+		}
+	}
+	for i := 0; i < n; i++ {
+		dp[1<<i][i] = dist[n][i]
+	}
+	for mask := 1; mask < size; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 || dp[mask][i] == math.MaxInt32 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					continue
+				}
+				nm := mask | 1<<j
+				if cand := dp[mask][i] + dist[i][j]; cand < dp[nm][j] {
+					dp[nm][j] = cand
+				}
+			}
+		}
+	}
+	best := math.MaxInt32
+	for i := 0; i < n; i++ {
+		if dp[size-1][i] != math.MaxInt32 {
+			if cand := dp[size-1][i] + dist[i][n]; cand < best {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// OptimalStarLength returns the minimal total length of a multicast star
+// (Definition 3.5): the destinations are partitioned into at most
+// maxPaths groups, each group is served by one walk from the source, and
+// each walk's length is the optimal visiting order for its group
+// (Held–Karp). Complexity O(3^k) over the subset lattice; small k only.
+func OptimalStarLength(t topology.Topology, k core.MulticastSet, maxPaths int) int {
+	n := len(k.Dests)
+	if n == 0 {
+		return 0
+	}
+	if n > maxExactDests {
+		panic(fmt.Sprintf("opt: %d destinations exceeds exact-solver bound %d", n, maxExactDests))
+	}
+	if maxPaths < 1 {
+		panic("opt: star needs at least one path")
+	}
+	dist := terminalDistances(t, k)
+	size := 1 << n
+
+	// pathCost[mask]: optimal single-walk cost from the source covering
+	// exactly mask (Held–Karp per subset).
+	const inf = math.MaxInt32
+	dp := make([][]int, size)
+	for m := range dp {
+		dp[m] = make([]int, n)
+		for i := range dp[m] {
+			dp[m][i] = inf
+		}
+	}
+	for i := 0; i < n; i++ {
+		dp[1<<i][i] = dist[n][i]
+	}
+	for mask := 1; mask < size; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 || dp[mask][i] == inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					continue
+				}
+				nm := mask | 1<<j
+				if cand := dp[mask][i] + dist[i][j]; cand < dp[nm][j] {
+					dp[nm][j] = cand
+				}
+			}
+		}
+	}
+	pathCost := make([]int, size)
+	pathCost[0] = 0
+	for mask := 1; mask < size; mask++ {
+		best := inf
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 && dp[mask][i] < best {
+				best = dp[mask][i]
+			}
+		}
+		pathCost[mask] = best
+	}
+
+	// starCost[p][mask]: best cost covering mask with at most p paths.
+	prev := pathCost
+	for p := 2; p <= maxPaths; p++ {
+		cur := make([]int, size)
+		copy(cur, prev)
+		for mask := 1; mask < size; mask++ {
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if pathCost[sub] == inf || prev[mask^sub] == inf {
+					continue
+				}
+				if cand := pathCost[sub] + prev[mask^sub]; cand < cur[mask] {
+					cur[mask] = cand
+				}
+			}
+		}
+		prev = cur
+	}
+	return prev[size-1]
+}
+
+// terminalDistances returns the pairwise graph distances among the
+// destinations (indices 0..n-1) and the source (index n).
+func terminalDistances(t topology.Topology, k core.MulticastSet) [][]int {
+	n := len(k.Dests)
+	nodes := make([]topology.NodeID, n+1)
+	copy(nodes, k.Dests)
+	nodes[n] = k.Source
+	dist := make([][]int, n+1)
+	for i := range dist {
+		dist[i] = make([]int, n+1)
+		for j := range dist[i] {
+			dist[i][j] = t.Distance(nodes[i], nodes[j])
+		}
+	}
+	return dist
+}
+
+// SteinerTreeLength computes the exact minimal Steiner tree length for
+// the terminals (source plus destinations) with the Dreyfus–Wagner
+// dynamic program: O(3^k n + 2^k n^2 + n^3-ish with BFS distances). It is
+// the exact reference for the MST problem of Definition 3.3.
+func SteinerTreeLength(g *graphx.Graph, terminals []int) int {
+	k := len(terminals)
+	if k <= 1 {
+		return 0
+	}
+	if k > 12 {
+		panic(fmt.Sprintf("opt: %d terminals exceeds Dreyfus–Wagner bound 12", k))
+	}
+	n := g.N()
+	// All-terminal BFS distances, plus distances from every vertex.
+	dist := make([][]int, n)
+	for v := 0; v < n; v++ {
+		dist[v] = g.BFSDistances(v)
+	}
+	// dp[mask][v]: minimal length of a tree spanning terminal subset
+	// mask plus vertex v.
+	full := 1 << (k - 1) // subsets of terminals[1:]; terminals[0] joined at the end
+	const inf = math.MaxInt32
+	dp := make([][]int, full)
+	for m := range dp {
+		dp[m] = make([]int, n)
+		for v := range dp[m] {
+			dp[m][v] = inf
+		}
+	}
+	for i := 1; i < k; i++ {
+		ti := terminals[i]
+		for v := 0; v < n; v++ {
+			if d := dist[ti][v]; d >= 0 {
+				m := 1 << (i - 1)
+				if d < dp[m][v] {
+					dp[m][v] = d
+				}
+			}
+		}
+	}
+	for mask := 1; mask < full; mask++ {
+		if mask&(mask-1) == 0 {
+			continue // singletons initialized above
+		}
+		// Merge: split mask into two non-empty subsets at v.
+		for v := 0; v < n; v++ {
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if sub < mask-sub {
+					continue // each split counted once
+				}
+				a, b := dp[sub][v], dp[mask^sub][v]
+				if a < inf && b < inf && a+b < dp[mask][v] {
+					dp[mask][v] = a + b
+				}
+			}
+		}
+		// Grow: attach v' via shortest path.
+		type qv struct{ v, d int }
+		// Dijkstra-like relaxation over unit edges = BFS from multiple
+		// sources with initial costs dp[mask][v].
+		dq := make([]int, n)
+		copy(dq, dp[mask])
+		// Bellman-Ford style relaxation (unit weights, n rounds worst
+		// case; in practice a few).
+		changed := true
+		for changed {
+			changed = false
+			for v := 0; v < n; v++ {
+				if dq[v] == inf {
+					continue
+				}
+				for _, w := range g.Neighbors(v) {
+					if dq[v]+1 < dq[w] {
+						dq[w] = dq[v] + 1
+						changed = true
+					}
+				}
+			}
+		}
+		copy(dp[mask], dq)
+		_ = qv{}
+	}
+	t0 := terminals[0]
+	best := inf
+	for v := 0; v < n; v++ {
+		if dp[full-1][v] < inf && dist[t0][v] >= 0 {
+			if cand := dp[full-1][v] + dist[t0][v]; cand < best {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// OptimalMTLength returns the minimal edge count of a multicast tree
+// (Definition 3.4: every destination at graph distance) by exhaustive
+// search over predecessor choices. Exponential; small instances only.
+func OptimalMTLength(t topology.Topology, k core.MulticastSet) int {
+	// Build the shortest-path DAG union from the source: edges (u,v)
+	// with dist(src,v) = dist(src,u)+1. An MT is a subtree of this DAG
+	// covering the destinations; minimize its edge count via search over
+	// destination attachment orders with memoized best.
+	type state struct {
+		nodes map[topology.NodeID]bool
+		edges int
+	}
+	src := k.Source
+	distFromSrc := make(map[topology.NodeID]int)
+	for v := topology.NodeID(0); int(v) < t.Nodes(); v++ {
+		distFromSrc[v] = t.Distance(src, v)
+	}
+	best := math.MaxInt32
+	var rec func(st state, rest []topology.NodeID)
+	rec = func(st state, rest []topology.NodeID) {
+		if st.edges >= best {
+			return
+		}
+		if len(rest) == 0 {
+			best = st.edges
+			return
+		}
+		d := rest[0]
+		if st.nodes[d] {
+			rec(st, rest[1:])
+			return
+		}
+		// Attach d to the current tree by a shortest path from any tree
+		// node u with dist(u)+d(u,d) == dist(d) (keeping d at graph
+		// distance). Enumerate all monotone paths from tree to d.
+		var attach func(cur topology.NodeID, added []topology.NodeID)
+		attach = func(cur topology.NodeID, added []topology.NodeID) {
+			if st.nodes[cur] {
+				ns := state{nodes: st.nodes, edges: st.edges + len(added)}
+				// Temporarily extend the node set.
+				for _, a := range added {
+					ns.nodes[a] = true
+				}
+				rec(ns, rest[1:])
+				for _, a := range added {
+					delete(ns.nodes, a)
+				}
+				return
+			}
+			var buf [32]topology.NodeID
+			for _, p := range t.Neighbors(cur, buf[:0]) {
+				if distFromSrc[p] == distFromSrc[cur]-1 {
+					attach(p, append(added, cur))
+				}
+			}
+		}
+		attach(d, nil)
+	}
+	rec(state{nodes: map[topology.NodeID]bool{src: true}}, k.Dests)
+	return best
+}

@@ -1,0 +1,297 @@
+package opt
+
+import (
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/heuristics"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// dualPathTraffic routes k with the dual-path scheme and returns its
+// channel count.
+func dualPathTraffic(m *topology.Mesh2D, l labeling.Labeling, k core.MulticastSet) int {
+	return dfr.DualPath(m, l, k).Traffic()
+}
+
+func randomSet(t topology.Topology, rng *stats.Rand, k int) core.MulticastSet {
+	src := topology.NodeID(rng.Intn(t.Nodes()))
+	raw := rng.Sample(t.Nodes(), k, int(src))
+	dests := make([]topology.NodeID, k)
+	for i, v := range raw {
+		dests[i] = topology.NodeID(v)
+	}
+	return core.MustMulticastSet(t, src, dests)
+}
+
+func TestOptimalPathSingleDest(t *testing.T) {
+	m := topology.NewMesh2D(5, 5)
+	k := core.MustMulticastSet(m, 0, []topology.NodeID{24})
+	length, order := OptimalPathLength(m, k)
+	if length != 8 {
+		t.Errorf("length %d, want 8", length)
+	}
+	if len(order) != 1 || order[0] != 24 {
+		t.Errorf("order %v", order)
+	}
+}
+
+func TestOptimalPathKnownInstance(t *testing.T) {
+	// On a 4x4 mesh from corner 0, visiting 3 and 15: best is
+	// 0 -> 3 (3 hops) -> 15 (3 hops) = 6.
+	m := topology.NewMesh2D(4, 4)
+	k := core.MustMulticastSet(m, 0, []topology.NodeID{15, 3})
+	length, order := OptimalPathLength(m, k)
+	if length != 6 {
+		t.Errorf("length %d, want 6", length)
+	}
+	if order[0] != 3 || order[1] != 15 {
+		t.Errorf("order %v, want [3 15]", order)
+	}
+}
+
+// TestOptimalPathBruteForce cross-checks Held–Karp against permutation
+// enumeration on random small instances.
+func TestOptimalPathBruteForce(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	rng := stats.NewRand(3)
+	for trial := 0; trial < 50; trial++ {
+		k := randomSet(m, rng, 2+rng.Intn(4))
+		want := bruteForcePath(m, k)
+		got, _ := OptimalPathLength(m, k)
+		if got != want {
+			t.Fatalf("trial %d: Held-Karp %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func bruteForcePath(t topology.Topology, k core.MulticastSet) int {
+	best := 1 << 30
+	var perm func(remaining []topology.NodeID, at topology.NodeID, cost int)
+	perm = func(remaining []topology.NodeID, at topology.NodeID, cost int) {
+		if cost >= best {
+			return
+		}
+		if len(remaining) == 0 {
+			best = cost
+			return
+		}
+		for i := range remaining {
+			next := remaining[i]
+			rest := make([]topology.NodeID, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			perm(rest, next, cost+t.Distance(at, next))
+		}
+	}
+	perm(k.Dests, k.Source, 0)
+	return best
+}
+
+func TestOptimalCycle(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	// Cycle through opposite corner: out and back = 12.
+	k := core.MustMulticastSet(m, 0, []topology.NodeID{15})
+	if got := OptimalCycleLength(m, k); got != 12 {
+		t.Errorf("cycle length %d, want 12", got)
+	}
+	// The cycle is never shorter than the path.
+	rng := stats.NewRand(11)
+	for trial := 0; trial < 40; trial++ {
+		k := randomSet(m, rng, 1+rng.Intn(5))
+		p, _ := OptimalPathLength(m, k)
+		c := OptimalCycleLength(m, k)
+		if c < p {
+			t.Fatalf("trial %d: cycle %d shorter than path %d", trial, c, p)
+		}
+	}
+}
+
+// TestSortedMPAgainstOptimal calibrates the sorted MP heuristic: it is
+// never better than the exact bound and stays within a moderate factor on
+// small random instances.
+func TestSortedMPAgainstOptimal(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	c, err := labeling.MeshHamiltonCycle(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(17)
+	var heurTotal, optTotal int
+	for trial := 0; trial < 60; trial++ {
+		k := randomSet(m, rng, 2+rng.Intn(6))
+		heur := heuristics.SortedMP(m, c, k).Traffic()
+		optv, _ := OptimalPathLength(m, k)
+		if heur < optv {
+			t.Fatalf("trial %d: heuristic %d beats the lower bound %d", trial, heur, optv)
+		}
+		heurTotal += heur
+		optTotal += optv
+	}
+	if heurTotal > 6*optTotal {
+		t.Errorf("sorted MP average %d is more than 6x optimal %d", heurTotal, optTotal)
+	}
+}
+
+func TestSteinerTreeExactSmall(t *testing.T) {
+	// A 3x3 mesh; terminals at the four corners: minimal Steiner tree
+	// has 6 edges (a plus-shape through the center is 8; better is two
+	// L-shapes sharing the middle row: corners (0,0),(2,0),(0,2),(2,2):
+	// tree edges: row 0 across (2) + column down from (0,0) to (0,2)
+	// (2) + (2,0)-(2,1)-(2,2) (2) = 6).
+	m := topology.NewMesh2D(3, 3)
+	g := heuristics.TopologyGraph(m)
+	got := SteinerTreeLength(g, []int{0, 2, 6, 8})
+	if got != 6 {
+		t.Errorf("Steiner length %d, want 6", got)
+	}
+}
+
+func TestSteinerTreeMatchesPathForTwoTerminals(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	g := heuristics.TopologyGraph(m)
+	rng := stats.NewRand(23)
+	for trial := 0; trial < 30; trial++ {
+		raw := rng.Sample(m.Nodes(), 2)
+		want := m.Distance(topology.NodeID(raw[0]), topology.NodeID(raw[1]))
+		if got := SteinerTreeLength(g, raw); got != want {
+			t.Fatalf("trial %d: Steiner %d, distance %d", trial, got, want)
+		}
+	}
+}
+
+// TestGreedySTAgainstExact calibrates the greedy ST heuristic against
+// Dreyfus–Wagner: never below the optimum, and within 2x (the KMB bound)
+// on average.
+func TestGreedySTAgainstExact(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	g := heuristics.TopologyGraph(m)
+	rng := stats.NewRand(29)
+	var heurTotal, optTotal int
+	for trial := 0; trial < 40; trial++ {
+		k := randomSet(m, rng, 2+rng.Intn(5))
+		terminals := []int{int(k.Source)}
+		for _, d := range k.Dests {
+			terminals = append(terminals, int(d))
+		}
+		optv := SteinerTreeLength(g, terminals)
+		heur := heuristics.GreedyST(m, k).Links
+		if heur < optv {
+			t.Fatalf("trial %d: greedy ST %d beats exact %d", trial, heur, optv)
+		}
+		heurTotal += heur
+		optTotal += optv
+	}
+	if heurTotal > 2*optTotal {
+		t.Errorf("greedy ST average %d more than 2x exact %d", heurTotal, optTotal)
+	}
+}
+
+// TestKMBWithinBound checks the classical 2-approximation bound of KMB
+// against the exact Steiner solution.
+func TestKMBWithinBound(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	g := heuristics.TopologyGraph(m)
+	rng := stats.NewRand(31)
+	for trial := 0; trial < 40; trial++ {
+		raw := rng.Sample(m.Nodes(), 2+rng.Intn(5))
+		exact := SteinerTreeLength(g, raw)
+		kmb := len(heuristics.KMB(g, raw))
+		if kmb < exact {
+			t.Fatalf("trial %d: KMB %d beats exact %d", trial, kmb, exact)
+		}
+		if kmb > 2*exact {
+			t.Fatalf("trial %d: KMB %d exceeds 2x exact %d", trial, kmb, exact)
+		}
+	}
+}
+
+func TestOptimalMTSmall(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	// Destinations 5 and 10 from source 0: dist 2 and 4; a shared
+	// prefix 0-1-5-6-10 gives 4 edges.
+	k := core.MustMulticastSet(m, 0, []topology.NodeID{5, 10})
+	if got := OptimalMTLength(m, k); got != 4 {
+		t.Errorf("optimal MT %d, want 4", got)
+	}
+}
+
+// TestMTHeuristicsAgainstExact calibrates X-first and divided greedy
+// against the exhaustive optimal multicast tree.
+func TestMTHeuristicsAgainstExact(t *testing.T) {
+	m := topology.NewMesh2D(5, 5)
+	rng := stats.NewRand(37)
+	for trial := 0; trial < 25; trial++ {
+		k := randomSet(m, rng, 2+rng.Intn(3))
+		optv := OptimalMTLength(m, k)
+		xf := heuristics.XFirstMT(m, k).Links
+		dg := heuristics.DividedGreedyMT(m, k).Links
+		if xf < optv || dg < optv {
+			t.Fatalf("trial %d: heuristic beats exhaustive optimum (xf=%d dg=%d opt=%d)",
+				trial, xf, dg, optv)
+		}
+	}
+}
+
+func TestOptimalStar(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	// One path allowed: the star optimum equals the path optimum.
+	rng := stats.NewRand(41)
+	for trial := 0; trial < 40; trial++ {
+		k := randomSet(m, rng, 2+rng.Intn(5))
+		p, _ := OptimalPathLength(m, k)
+		if got := OptimalStarLength(m, k, 1); got != p {
+			t.Fatalf("trial %d: star(1) = %d, path optimum %d", trial, got, p)
+		}
+		// More paths can only help, and k paths reach the multi-unicast
+		// optimum (each destination served directly).
+		s2 := OptimalStarLength(m, k, 2)
+		s4 := OptimalStarLength(m, k, 4)
+		if s2 > p || s4 > s2 {
+			t.Fatalf("trial %d: star costs not monotone: path %d, star2 %d, star4 %d", trial, p, s2, s4)
+		}
+		direct := 0
+		for _, d := range k.Dests {
+			direct += m.Distance(k.Source, d)
+		}
+		if sk := OptimalStarLength(m, k, k.K()); sk > direct {
+			t.Fatalf("trial %d: star(k) = %d exceeds direct service %d", trial, sk, direct)
+		}
+	}
+}
+
+// TestDualPathAgainstOptimalStar calibrates the heuristic against the
+// exact two-path star optimum: never better, within a moderate factor.
+func TestDualPathAgainstOptimalStar(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	rng := stats.NewRand(47)
+	var heur, optv int
+	for trial := 0; trial < 40; trial++ {
+		k := randomSet(m, rng, 2+rng.Intn(5))
+		h := dualPathTraffic(m, l, k)
+		o := OptimalStarLength(m, k, 2)
+		if h < o {
+			t.Fatalf("trial %d: dual-path %d beats exact star(2) %d", trial, h, o)
+		}
+		heur += h
+		optv += o
+	}
+	if heur > 4*optv {
+		t.Errorf("dual-path average %d more than 4x exact %d", heur, optv)
+	}
+}
+
+func TestExactSolverBounds(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	big := randomSet(m, stats.NewRand(1), 20)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized instance")
+		}
+	}()
+	OptimalPathLength(m, big)
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one curve of a figure: a named sequence of (x, y) points.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	YError []float64 // optional 95% CI half-widths, nil when not tracked
+}
+
+// Add appends a point (without an error bar).
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// AddWithError appends a point with a confidence half-width.
+func (s *Series) AddWithError(x, y, e float64) {
+	if s.YError == nil {
+		s.YError = make([]float64, len(s.X))
+	}
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.YError = append(s.YError, e)
+}
+
+// At returns the y value at the given x, or NaN-free (0, false) when x is
+// not a sample point.
+func (s *Series) At(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a reproduced table or figure: a set of series over a shared
+// x-axis, with captions matching the paper's.
+type Figure struct {
+	ID     string // e.g. "Fig 7.1"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// AddSeries creates, registers, and returns a new named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Get returns the series with the given name, or nil.
+func (f *Figure) Get(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the figure as an aligned text table: one row per
+// distinct x, one column per series.
+func (f *Figure) WriteTable(w io.Writer) error {
+	xs := f.xValues()
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf("%.2f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the figure as CSV with an x column followed by one
+// column per series.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	xs := f.xValues()
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf("%g", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Figure) xValues() []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,219 @@
+// Package stats supplies the statistical plumbing of the performance study
+// (Chapter 7): deterministic pseudo-random number generation for workload
+// synthesis, running means, and the batch-means method with Student-t 95%
+// confidence intervals used to decide when a dynamic simulation has run
+// long enough ("all simulations were executed until the confidence
+// interval was smaller than 5 percent of the mean, using 95 percent
+// confidence intervals").
+package stats
+
+import (
+	"math"
+)
+
+// Rand is a small, fast, deterministic PRNG (SplitMix64). The simulator
+// and workload generators take an explicit *Rand so every experiment is
+// reproducible from a seed; the standard library's global rand is never
+// used.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics for n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with the given
+// mean (inter-arrival times of the multicast generators, Section 7.2).
+func (r *Rand) ExpFloat64(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct uniform values from [0, n) excluding the
+// values in excl. It panics when fewer than k values are available.
+func (r *Rand) Sample(n, k int, excl ...int) []int {
+	exclSet := make(map[int]bool, len(excl))
+	for _, e := range excl {
+		exclSet[e] = true
+	}
+	if n-len(exclSet) < k {
+		panic("stats: sample larger than population")
+	}
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := r.Intn(n)
+		if exclSet[v] || chosen[v] {
+			continue
+		}
+		chosen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// Mean is a running mean/variance accumulator (Welford's algorithm).
+type Mean struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (m *Mean) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Mean) N() int { return m.n }
+
+// Value returns the sample mean (0 when empty).
+func (m *Mean) Value() float64 { return m.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (m *Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// BatchMeans implements the batch-means method [58]: raw observations are
+// grouped into fixed-size batches, each batch contributes one (roughly
+// independent) batch mean, and a confidence interval is computed over the
+// batch means.
+type BatchMeans struct {
+	batchSize int
+	current   Mean
+	batches   Mean
+}
+
+// NewBatchMeans returns an accumulator with the given batch size.
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize < 1 {
+		panic("stats: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add records one raw observation.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.N() == b.batchSize {
+		b.batches.Add(b.current.Value())
+		b.current = Mean{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return b.batches.N() }
+
+// Observations returns the total number of raw observations recorded.
+func (b *BatchMeans) Observations() int {
+	return b.batches.N()*b.batchSize + b.current.N()
+}
+
+// Mean returns the grand mean over completed batches; if no batch has
+// completed yet it falls back to the mean of the partial batch.
+func (b *BatchMeans) Mean() float64 {
+	if b.batches.N() == 0 {
+		return b.current.Value()
+	}
+	return b.batches.Value()
+}
+
+// HalfWidth returns the 95% confidence half-interval over batch means, or
+// +Inf when fewer than two batches are complete.
+func (b *BatchMeans) HalfWidth() float64 {
+	n := b.batches.N()
+	if n < 2 {
+		return math.Inf(1)
+	}
+	se := b.batches.StdDev() / math.Sqrt(float64(n))
+	return tCritical95(n-1) * se
+}
+
+// Converged reports whether the 95% confidence interval is within frac of
+// the mean (the paper uses frac = 0.05) and at least minBatches batches
+// have completed.
+func (b *BatchMeans) Converged(frac float64, minBatches int) bool {
+	if b.batches.N() < minBatches || b.batches.N() < 2 {
+		return false
+	}
+	m := b.Mean()
+	if m == 0 {
+		return true
+	}
+	return b.HalfWidth() <= frac*math.Abs(m)
+}
+
+// tCritical95 returns the two-sided Student-t critical value at the 95%
+// level for the given degrees of freedom, from a standard table with the
+// normal limit beyond 120 dof.
+func tCritical95(dof int) float64 {
+	table := []float64{
+		0,                                                             // dof 0 (unused)
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2-10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11-20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21-30
+	}
+	switch {
+	case dof <= 0:
+		return math.Inf(1)
+	case dof < len(table):
+		return table[dof]
+	case dof <= 40:
+		return 2.021
+	case dof <= 60:
+		return 2.000
+	case dof <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}

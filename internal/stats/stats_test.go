@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(1)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("value %d drawn %d times out of 7000 (expect ~1000)", v, c)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	f := func(_ int) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(99)
+	var m Mean
+	for i := 0; i < 200000; i++ {
+		m.Add(r.ExpFloat64(300))
+	}
+	if math.Abs(m.Value()-300) > 5 {
+		t.Errorf("exponential mean %.2f, want ~300", m.Value())
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in perm", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleDistinctAndExcluding(t *testing.T) {
+	r := NewRand(11)
+	for trial := 0; trial < 100; trial++ {
+		s := r.Sample(64, 10, 7)
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v == 7 {
+				t.Fatal("excluded value sampled")
+			}
+			if v < 0 || v >= 64 {
+				t.Fatalf("out of range: %d", v)
+			}
+			if seen[v] {
+				t.Fatal("duplicate sample")
+			}
+			seen[v] = true
+		}
+		if len(s) != 10 {
+			t.Fatalf("sample size %d", len(s))
+		}
+	}
+}
+
+func TestSamplePanicsWhenImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRand(1).Sample(3, 3, 0)
+}
+
+func TestMeanVariance(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.Value() != 5 {
+		t.Errorf("mean %.3f, want 5", m.Value())
+	}
+	if math.Abs(m.Variance()-4.571428571) > 1e-6 {
+		t.Errorf("variance %.6f, want 4.571429", m.Variance())
+	}
+}
+
+func TestBatchMeansConvergence(t *testing.T) {
+	b := NewBatchMeans(100)
+	r := NewRand(3)
+	for i := 0; i < 10000; i++ {
+		b.Add(10 + r.Float64())
+	}
+	if b.Batches() != 100 {
+		t.Fatalf("batches = %d", b.Batches())
+	}
+	if math.Abs(b.Mean()-10.5) > 0.05 {
+		t.Errorf("mean %.3f, want ~10.5", b.Mean())
+	}
+	if !b.Converged(0.05, 5) {
+		t.Errorf("tight distribution should converge: half-width %.4f", b.HalfWidth())
+	}
+}
+
+func TestBatchMeansNotConvergedEarly(t *testing.T) {
+	b := NewBatchMeans(100)
+	b.Add(1)
+	if b.Converged(0.05, 2) {
+		t.Error("converged with zero batches")
+	}
+	if !math.IsInf(b.HalfWidth(), 1) {
+		t.Error("half-width should be infinite before two batches")
+	}
+	if b.Mean() != 1 {
+		t.Errorf("partial-batch mean %.2f, want 1", b.Mean())
+	}
+	if b.Observations() != 1 {
+		t.Errorf("observations %d, want 1", b.Observations())
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for dof := 1; dof <= 200; dof++ {
+		cur := tCritical95(dof)
+		if cur > prev {
+			t.Fatalf("t table not monotone at dof=%d: %f > %f", dof, cur, prev)
+		}
+		prev = cur
+	}
+	if tCritical95(1000) != 1.960 {
+		t.Error("normal limit wrong")
+	}
+}
+
+func TestSeriesAndFigureTable(t *testing.T) {
+	fig := &Figure{ID: "Fig X", Title: "test", XLabel: "k", YLabel: "traffic"}
+	a := fig.AddSeries("alg-a")
+	b := fig.AddSeries("alg-b")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(2, 21.5)
+	var sb strings.Builder
+	if err := fig.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig X", "alg-a", "alg-b", "21.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	if err := fig.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "k,alg-a,alg-b") {
+		t.Errorf("bad CSV header:\n%s", csv.String())
+	}
+	if fig.Get("alg-a") != a || fig.Get("nope") != nil {
+		t.Error("Get misbehaves")
+	}
+	if y, ok := a.At(2); !ok || y != 20 {
+		t.Error("Series.At misbehaves")
+	}
+}
+
+func TestSeriesAddWithError(t *testing.T) {
+	var s Series
+	s.Add(1, 5)
+	s.AddWithError(2, 6, 0.5)
+	if len(s.YError) != 2 || s.YError[0] != 0 || s.YError[1] != 0.5 {
+		t.Errorf("YError = %v", s.YError)
+	}
+}

@@ -1,0 +1,107 @@
+// Package switching models the contention-free network latency of the four
+// switching technologies compared in Section 2.2 and Fig. 2.3:
+// store-and-forward, virtual cut-through, circuit switching, and wormhole
+// routing. Latencies follow the closed forms of the dissertation:
+//
+//	store-and-forward:  (L/B)(D + 1)
+//	virtual cut-through: (Lh/B)D + L/B
+//	circuit switching:   (Lc/B)D + L/B
+//	wormhole routing:    (Lf/B)D + L/B
+//
+// with L the message length, B the channel bandwidth, D the hop distance,
+// and Lh/Lc/Lf the header, control-packet, and flit lengths.
+package switching
+
+import "fmt"
+
+// Technology identifies a switching technology.
+type Technology int
+
+// The four switching technologies of Section 2.2.
+const (
+	StoreAndForward Technology = iota
+	VirtualCutThrough
+	CircuitSwitching
+	Wormhole
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case StoreAndForward:
+		return "store-and-forward"
+	case VirtualCutThrough:
+		return "virtual cut-through"
+	case CircuitSwitching:
+		return "circuit switching"
+	case Wormhole:
+		return "wormhole"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// Params holds the physical parameters of the latency models. All sizes
+// are in bytes and the bandwidth in bytes per microsecond, so latencies
+// come out in microseconds.
+type Params struct {
+	MessageBytes float64 // L: message length
+	Bandwidth    float64 // B: channel bandwidth (bytes/us)
+	HeaderBytes  float64 // Lh: header length (virtual cut-through)
+	ControlBytes float64 // Lc: circuit-establishment control packet
+	FlitBytes    float64 // Lf: flit length (wormhole)
+}
+
+// DefaultParams are the dissertation's simulation parameters: 128-byte
+// messages on 20 Mbyte/s channels (Section 7.2), 1-byte flits, and small
+// header/control packets.
+func DefaultParams() Params {
+	return Params{
+		MessageBytes: 128,
+		Bandwidth:    20, // 20 Mbytes/s = 20 bytes/us
+		HeaderBytes:  2,
+		ControlBytes: 2,
+		FlitBytes:    1,
+	}
+}
+
+func (p Params) validate() {
+	if p.Bandwidth <= 0 {
+		panic("switching: bandwidth must be positive")
+	}
+	if p.MessageBytes < 0 || p.HeaderBytes < 0 || p.ControlBytes < 0 || p.FlitBytes < 0 {
+		panic("switching: negative size parameter")
+	}
+}
+
+// Latency returns the contention-free network latency, in microseconds,
+// for transmitting one message over a path of hops channels.
+func Latency(t Technology, p Params, hops int) float64 {
+	p.validate()
+	if hops < 0 {
+		panic("switching: negative hop count")
+	}
+	d := float64(hops)
+	l := p.MessageBytes / p.Bandwidth
+	switch t {
+	case StoreAndForward:
+		// Each intermediate node stores the full packet: D full
+		// transmissions plus the final delivery.
+		return l * (d + 1)
+	case VirtualCutThrough:
+		return p.HeaderBytes/p.Bandwidth*d + l
+	case CircuitSwitching:
+		return p.ControlBytes/p.Bandwidth*d + l
+	case Wormhole:
+		return p.FlitBytes/p.Bandwidth*d + l
+	default:
+		panic("switching: unknown technology " + t.String())
+	}
+}
+
+// DistanceSensitivity returns the marginal latency per extra hop, a direct
+// reading of why distance dominates store-and-forward but barely matters
+// for the pipelined technologies.
+func DistanceSensitivity(t Technology, p Params) float64 {
+	return Latency(t, p, 1) - Latency(t, p, 0)
+}

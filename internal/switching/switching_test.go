@@ -1,0 +1,85 @@
+package switching
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLatencyClosedForms(t *testing.T) {
+	p := DefaultParams() // L=128, B=20, Lh=2, Lc=2, Lf=1
+	const d = 10
+	cases := []struct {
+		tech Technology
+		want float64
+	}{
+		{StoreAndForward, (128.0 / 20) * (d + 1)},
+		{VirtualCutThrough, (2.0/20)*d + 128.0/20},
+		{CircuitSwitching, (2.0/20)*d + 128.0/20},
+		{Wormhole, (1.0/20)*d + 128.0/20},
+	}
+	for _, c := range cases {
+		if got := Latency(c.tech, p, d); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: latency %.4f, want %.4f", c.tech, got, c.want)
+		}
+	}
+}
+
+// TestFig23Shape checks the qualitative content of Fig. 2.3: for long
+// messages, store-and-forward latency grows linearly with distance while
+// the pipelined technologies are nearly distance-insensitive.
+func TestFig23Shape(t *testing.T) {
+	p := DefaultParams()
+	sfSlope := DistanceSensitivity(StoreAndForward, p)
+	whSlope := DistanceSensitivity(Wormhole, p)
+	if sfSlope <= 10*whSlope {
+		t.Errorf("store-and-forward slope %.3f should dwarf wormhole slope %.3f", sfSlope, whSlope)
+	}
+	// At distance 0 (delivery to a neighbor-free path) all technologies
+	// need the same L/B serialization time.
+	base := p.MessageBytes / p.Bandwidth
+	for _, tech := range []Technology{StoreAndForward, VirtualCutThrough, CircuitSwitching, Wormhole} {
+		if got := Latency(tech, p, 0); math.Abs(got-base) > 1e-9 {
+			t.Errorf("%s: zero-hop latency %.3f, want %.3f", tech, got, base)
+		}
+	}
+}
+
+func TestLatencyMonotoneInDistance(t *testing.T) {
+	p := DefaultParams()
+	for _, tech := range []Technology{StoreAndForward, VirtualCutThrough, CircuitSwitching, Wormhole} {
+		prev := -1.0
+		for d := 0; d <= 64; d++ {
+			cur := Latency(tech, p, d)
+			if cur < prev {
+				t.Errorf("%s: latency not monotone at d=%d", tech, d)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestTechnologyString(t *testing.T) {
+	if StoreAndForward.String() != "store-and-forward" || Wormhole.String() != "wormhole" {
+		t.Error("bad String()")
+	}
+	if Technology(99).String() == "" {
+		t.Error("unknown technology should still print")
+	}
+}
+
+func TestLatencyValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Latency(Wormhole, Params{Bandwidth: 0}, 1) },
+		func() { Latency(Wormhole, DefaultParams(), -1) },
+		func() { Latency(Technology(9), DefaultParams(), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

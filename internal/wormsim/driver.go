@@ -1,0 +1,281 @@
+package wormsim
+
+import (
+	"fmt"
+	"math"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// Injection is the routed form of one multicast, as produced by a routing
+// scheme: any mix of path routes and tree routes.
+type Injection struct {
+	Paths []dfr.PathRoute
+	Trees []dfr.TreeRoute
+}
+
+// RouteFunc routes a multicast set into worms. It is how the Chapter 6
+// schemes plug into the simulator.
+type RouteFunc func(k core.MulticastSet) Injection
+
+// LiveRouteFunc routes with sight of the live network state (the
+// Section 8.2 adaptive extension): the oracle reports current channel
+// occupancy at injection time.
+type LiveRouteFunc func(k core.MulticastSet, oracle dfr.ChannelOracle) Injection
+
+// Config drives one dynamic simulation (Section 7.2).
+type Config struct {
+	Topology topology.Topology
+	Route    RouteFunc
+	// LiveRoute, when set, overrides Route with congestion-aware routing.
+	LiveRoute LiveRouteFunc
+
+	// MessageBytes is the message length L (the paper uses 128).
+	MessageBytes int
+	// FlitBytes sets the flit size (1 byte); one cycle moves one flit.
+	FlitBytes int
+	// BandwidthMBps is the channel speed in Mbytes/s (the paper uses
+	// 20), fixing the real-time value of a cycle.
+	BandwidthMBps float64
+
+	// MeanInterarrivalMicros is the mean of the exponential
+	// inter-message time at each node (the paper's base case is 300 us).
+	MeanInterarrivalMicros float64
+	// AvgDests is the average number of destinations per multicast;
+	// destination counts are drawn uniformly from [1, 2*AvgDests-1].
+	AvgDests int
+	// UnicastFraction is the probability that a generated message is a
+	// plain unicast (one destination) instead of a multicast — the mixed
+	// unicast/multicast workload of the Section 8.2 interaction study.
+	// Zero gives the paper's pure multicast workload.
+	UnicastFraction float64
+
+	// Seed makes the run reproducible.
+	Seed uint64
+	// WarmupDeliveries are discarded before statistics collection.
+	WarmupDeliveries int
+	// BatchSize and MinBatches parameterize the batch-means stopping
+	// rule; the run stops when the 95% CI half-width is below CIFrac of
+	// the mean (the paper uses 0.05), or at MaxCycles.
+	BatchSize  int
+	MinBatches int
+	CIFrac     float64
+	MaxCycles  int64
+
+	// StallLimit is the no-progress cycle count after which the run is
+	// declared deadlocked. Zero selects a safe default.
+	StallLimit int64
+}
+
+// validate fills defaults and checks consistency.
+func (c *Config) validate() error {
+	if c.Topology == nil || (c.Route == nil && c.LiveRoute == nil) {
+		return fmt.Errorf("wormsim: config needs Topology and Route (or LiveRoute)")
+	}
+	if c.MessageBytes <= 0 {
+		c.MessageBytes = 128
+	}
+	if c.FlitBytes <= 0 {
+		c.FlitBytes = 1
+	}
+	if c.BandwidthMBps <= 0 {
+		c.BandwidthMBps = 20
+	}
+	if c.MeanInterarrivalMicros <= 0 {
+		return fmt.Errorf("wormsim: MeanInterarrivalMicros must be positive")
+	}
+	if c.AvgDests <= 0 {
+		c.AvgDests = 10
+	}
+	if c.WarmupDeliveries < 0 {
+		return fmt.Errorf("wormsim: negative warmup")
+	}
+	if c.UnicastFraction < 0 || c.UnicastFraction > 1 {
+		return fmt.Errorf("wormsim: UnicastFraction must be in [0,1]")
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 500
+	}
+	if c.MinBatches <= 0 {
+		c.MinBatches = 10
+	}
+	if c.CIFrac <= 0 {
+		c.CIFrac = 0.05
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 5_000_000
+	}
+	if c.StallLimit <= 0 {
+		// Far beyond any legitimate stall: several maximal messages
+		// back to back.
+		c.StallLimit = int64(20 * (c.MessageBytes/c.FlitBytes + c.Topology.Nodes()))
+	}
+	return nil
+}
+
+// flitMicros returns the real-time duration of one cycle.
+func (c *Config) flitMicros() float64 {
+	return float64(c.FlitBytes) / c.BandwidthMBps
+}
+
+// Result summarizes one dynamic run.
+type Result struct {
+	// AvgLatencyMicros is the mean per-destination network latency.
+	AvgLatencyMicros float64
+	// CIHalfWidthMicros is the 95% batch-means confidence half-width.
+	CIHalfWidthMicros float64
+	// AvgCompletionMicros is the mean whole-multicast latency (last
+	// destination delivered).
+	AvgCompletionMicros float64
+	// Deliveries counts destination deliveries measured (after warmup).
+	Deliveries int
+	// AvgUnicastLatencyMicros is the mean latency over deliveries of
+	// single-destination messages (0 when there were none). Only
+	// populated when UnicastFraction > 0.
+	AvgUnicastLatencyMicros float64
+	// AvgMulticastLatencyMicros is the mean latency over deliveries of
+	// multi-destination messages (0 when there were none). Only
+	// populated when UnicastFraction > 0.
+	AvgMulticastLatencyMicros float64
+	// ThroughputPerMs is the measured delivery rate over the whole run
+	// (destination deliveries per millisecond, network-wide) — the
+	// throughput metric of Section 2.1.
+	ThroughputPerMs float64
+	// MulticastsSent counts injected multicasts.
+	MulticastsSent int
+	// Cycles is the simulated cycle count.
+	Cycles int64
+	// Deadlocked reports that the network stopped making progress with
+	// worms still in flight.
+	Deadlocked bool
+	// Converged reports that the CI stopping rule was met.
+	Converged bool
+}
+
+// Run executes a dynamic simulation: every node runs a multicast
+// generator with exponential inter-arrival times and uniformly random
+// destination sets, the configured scheme routes each multicast, and the
+// flit-clock network carries the worms. It returns batch-means latency
+// statistics.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	topo := cfg.Topology
+	rng := stats.NewRand(cfg.Seed)
+	net := NewNetwork(topo)
+	lengthFlits := cfg.MessageBytes / cfg.FlitBytes
+	if lengthFlits < 1 {
+		lengthFlits = 1
+	}
+	flitUs := cfg.flitMicros()
+
+	latency := stats.NewBatchMeans(cfg.BatchSize)
+	var completion, uniLatency, mcastLatency stats.Mean
+	seen := 0
+	net.OnDeliveryDetail(func(_ topology.NodeID, cycles int64, size int) {
+		seen++
+		if seen > cfg.WarmupDeliveries {
+			us := float64(cycles) * flitUs
+			latency.Add(us)
+			if size == 1 {
+				uniLatency.Add(us)
+			} else {
+				mcastLatency.Add(us)
+			}
+		}
+	})
+	net.OnComplete(func(cycles int64) {
+		completion.Add(float64(cycles) * flitUs)
+	})
+
+	// Per-node next spawn cycle.
+	interCycles := cfg.MeanInterarrivalMicros / flitUs
+	nextSpawn := make([]int64, topo.Nodes())
+	for i := range nextSpawn {
+		nextSpawn[i] = int64(rng.ExpFloat64(interCycles))
+	}
+
+	res := Result{}
+	var lastProgress int64
+	for net.Cycle() < cfg.MaxCycles {
+		now := net.Cycle()
+		for node := range nextSpawn {
+			for nextSpawn[node] <= now {
+				nextSpawn[node] += int64(rng.ExpFloat64(interCycles)) + 1
+				avg := cfg.AvgDests
+				if cfg.UnicastFraction > 0 && rng.Float64() < cfg.UnicastFraction {
+					avg = -1 // sentinel: exactly one destination
+				}
+				k := randomMulticast(topo, rng, topology.NodeID(node), avg)
+				var inj Injection
+				if cfg.LiveRoute != nil {
+					inj = cfg.LiveRoute(k, net)
+				} else {
+					inj = cfg.Route(k)
+				}
+				net.InjectMulticast(inj.Paths, inj.Trees, lengthFlits)
+				res.MulticastsSent++
+			}
+		}
+		if net.Step() {
+			lastProgress = net.Cycle()
+		} else if net.ActiveWorms() > 0 && net.Cycle()-lastProgress > cfg.StallLimit {
+			res.Deadlocked = true
+			break
+		}
+		// A wait-for cycle is a permanent deadlock even while other
+		// worms still progress elsewhere; check periodically.
+		if net.Cycle()%64 == 0 && net.ActiveWorms() > 1 && net.DetectDeadlock() != nil {
+			res.Deadlocked = true
+			break
+		}
+		if latency.Converged(cfg.CIFrac, cfg.MinBatches) {
+			res.Converged = true
+			break
+		}
+	}
+	res.AvgLatencyMicros = latency.Mean()
+	res.CIHalfWidthMicros = latency.HalfWidth()
+	if math.IsInf(res.CIHalfWidthMicros, 1) {
+		res.CIHalfWidthMicros = 0
+	}
+	res.AvgCompletionMicros = completion.Value()
+	res.AvgUnicastLatencyMicros = uniLatency.Value()
+	res.AvgMulticastLatencyMicros = mcastLatency.Value()
+	res.Deliveries = latency.Observations()
+	res.Cycles = net.Cycle()
+	if res.Cycles > 0 {
+		elapsedMs := float64(res.Cycles) * flitUs / 1000
+		res.ThroughputPerMs = float64(seen) / elapsedMs
+	}
+	return res, nil
+}
+
+// randomMulticast draws a multicast set with a uniform destination count
+// in [1, 2*avg-1] and uniform distinct destinations, as in the paper's
+// simulation ("destinations determined by a uniform random number
+// generator"). avg = -1 forces a unicast (exactly one destination).
+func randomMulticast(t topology.Topology, rng *stats.Rand, src topology.NodeID, avg int) core.MulticastSet {
+	if avg < 0 {
+		raw := rng.Sample(t.Nodes(), 1, int(src))
+		return core.MustMulticastSet(t, src, []topology.NodeID{topology.NodeID(raw[0])})
+	}
+	maxK := 2*avg - 1
+	if maxK > t.Nodes()-1 {
+		maxK = t.Nodes() - 1
+	}
+	k := 1
+	if maxK > 1 {
+		k = 1 + rng.Intn(maxK)
+	}
+	raw := rng.Sample(t.Nodes(), k, int(src))
+	dests := make([]topology.NodeID, k)
+	for i, v := range raw {
+		dests[i] = topology.NodeID(v)
+	}
+	return core.MustMulticastSet(t, src, dests)
+}

@@ -1,0 +1,108 @@
+package wormsim
+
+import (
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/topology"
+)
+
+// The RouteFuncs below adapt the Chapter 6 routing schemes to the
+// simulator. The *Double variants run path-based schemes on the
+// double-channel network of Fig. 7.8's comparison: high-channel paths use
+// channel copy 0 and low-channel paths copy 1, so the path schemes get
+// the same aggregate bandwidth as the four-subnetwork tree scheme.
+
+// classify assigns double-channel classes to the paths of a star. High-
+// and low-channel paths already use disjoint channel directions, so the
+// second copy is spent where it helps: traffic is spread across the two
+// copies by source parity, halving contention per copy. Every copy
+// network carries only label-monotone paths, so each remains acyclic and
+// the assignment preserves deadlock freedom.
+func classify(l labeling.Labeling, s dfr.Star) []dfr.PathRoute {
+	out := make([]dfr.PathRoute, len(s.Paths))
+	for i, p := range s.Paths {
+		out[i] = p
+		out[i].Class = (int(s.Source) + i) % 2
+	}
+	return out
+}
+
+// DualPathScheme routes with the dual-path algorithm on single channels.
+func DualPathScheme(t topology.Topology, l labeling.Labeling) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Paths: dfr.DualPath(t, l, k).Paths}
+	}
+}
+
+// DualPathDoubleScheme is dual-path on the double-channel network.
+func DualPathDoubleScheme(t topology.Topology, l labeling.Labeling) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Paths: classify(l, dfr.DualPath(t, l, k))}
+	}
+}
+
+// MultiPathMeshScheme routes with the mesh multi-path algorithm on
+// single channels.
+func MultiPathMeshScheme(m *topology.Mesh2D, l labeling.Labeling) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Paths: dfr.MultiPathMesh(m, l, k).Paths}
+	}
+}
+
+// MultiPathMeshDoubleScheme is mesh multi-path on double channels.
+func MultiPathMeshDoubleScheme(m *topology.Mesh2D, l labeling.Labeling) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Paths: classify(l, dfr.MultiPathMesh(m, l, k))}
+	}
+}
+
+// MultiPathCubeScheme routes with the hypercube multi-path algorithm.
+func MultiPathCubeScheme(h *topology.Hypercube, l labeling.Labeling) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Paths: dfr.MultiPathCube(h, l, k).Paths}
+	}
+}
+
+// FixedPathScheme routes with the fixed-path algorithm on single
+// channels.
+func FixedPathScheme(t topology.Topology, l labeling.Labeling) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Paths: dfr.FixedPath(t, l, k).Paths}
+	}
+}
+
+// DoubleChannelTreeScheme routes with the deadlock-free double-channel
+// X-first tree algorithm (Section 6.2.1).
+func DoubleChannelTreeScheme(m *topology.Mesh2D) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Trees: dfr.DoubleChannelXFirst(m, k)}
+	}
+}
+
+// NaiveTreeScheme routes with the single-channel X-first multicast tree —
+// the deadlock-PRONE extension of Section 6.1, exposed so the simulator
+// can demonstrate the deadlock the chapter opens with.
+func NaiveTreeScheme(m *topology.Mesh2D) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Trees: dfr.XFirstTrees(m, k)}
+	}
+}
+
+// AdaptiveDualPathScheme routes with congestion-adaptive dual-path
+// routing (the Section 8.2 adaptive extension): hops avoid currently-busy
+// channels while staying label-monotone, hence deadlock-free.
+func AdaptiveDualPathScheme(t topology.Topology, l labeling.Labeling) LiveRouteFunc {
+	return func(k core.MulticastSet, oracle dfr.ChannelOracle) Injection {
+		return Injection{Paths: dfr.AdaptiveDualPath(t, l, k, oracle).Paths}
+	}
+}
+
+// VirtualChannelScheme routes with the Section 8.2 virtual-channel
+// extension: 2v label-monotone subnetworks over v channel copies per
+// direction.
+func VirtualChannelScheme(t topology.Topology, l labeling.Labeling, v int) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Paths: dfr.VirtualChannelPath(t, l, k, v).Paths}
+	}
+}

@@ -1,0 +1,530 @@
+// Package wormsim is a flit-clock wormhole network simulator — the
+// from-scratch replacement for the CSIM-based simulation program of
+// Section 7.2. One simulation cycle equals one flit time on a channel.
+// Worms (in-flight messages) acquire channels one hop per cycle; a
+// blocked worm stalls in place holding everything it has acquired, which
+// is exactly the wormhole behaviour that creates deadlock (Section 6.1).
+//
+// Path worms model the path-based multicast schemes: a single header
+// acquires the route channel by channel and the body follows in a
+// pipeline.
+//
+// Tree worms model tree-like multicast routing as Section 6.1 describes
+// it: the header flit is replicated at branch nodes and all branches
+// proceed forward in lock-step, so the whole frontier (one tree level)
+// must be secured before any branch advances. The worm claims whatever
+// frontier channels are free — holding them — while it waits for the
+// busy ones ("all of the required channels must be available before
+// transmission on any of them may take place"). Blockage of any branch
+// therefore stalls the entire tree while it keeps channels occupied, the
+// behaviour that makes naive tree multicast slow under contention and
+// deadlock-prone (Figs. 6.1 and 6.4).
+//
+// Channel arbitration is first-come first-served: a worm that finds a
+// channel busy enqueues on it and acquires it, in order, once free.
+// Deadlock is detected via wait-for-graph cycles and reported rather than
+// hidden.
+package wormsim
+
+import (
+	"fmt"
+
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/topology"
+)
+
+// wormKind distinguishes path worms from lock-step tree worms.
+type wormKind int
+
+const (
+	pathWorm wormKind = iota
+	treeWorm
+)
+
+// delivery marks a destination and where its router sits: the channel
+// index along the path (path worms) or the depth of the arrival channel
+// (tree worms).
+type delivery struct {
+	dest topology.NodeID
+	idx  int // path: 1-based position; tree: depth of the arrival channel
+	done bool
+}
+
+// treeLevel is one frontier of a tree worm: all channels at one depth.
+// The lock-step header advances a full level at a time, claiming free
+// channels immediately and waiting (while holding them) for the rest.
+type treeLevel struct {
+	channels []dfr.Channel
+	taken    []bool
+	missing  int
+	queued   bool
+}
+
+// worm is one in-flight wormhole message. The id is stable across the
+// worm's lifetime and identifies it in deadlock reports.
+type worm struct {
+	kind wormKind
+	id   int
+
+	// Path worms.
+	chans    []dfr.Channel
+	headIdx  int // next channel index to acquire
+	queuedAt int // headIdx value already enqueued for (-1: none)
+	progress int // total head advances, including drain into the final destination
+	released int // leading channels already released
+
+	// Tree worms.
+	levels []treeLevel
+
+	deliveries []delivery
+	undeliv    int
+	length     int   // message length in flits
+	spawned    int64 // cycle at which the multicast was initiated
+
+	mcast *mcastState
+}
+
+// mcastState tracks one multicast (possibly several worms) for
+// whole-multicast latency.
+type mcastState struct {
+	spawned   int64
+	size      int // destination count of the whole multicast
+	remaining int // undelivered destinations across all worms
+}
+
+// chanState is the occupancy and FIFO wait queue of one channel.
+type chanState struct {
+	owner *worm
+	queue []*worm
+}
+
+// enqueue appends w; callers guarantee at-most-once per wait episode via
+// the worm-side queued markers, keeping stalls O(1) per cycle.
+func (c *chanState) enqueue(w *worm) {
+	c.queue = append(c.queue, w)
+}
+
+// availableTo reports whether w may take the channel now: free, and w is
+// first in line (or the queue is empty because w never had to wait).
+func (c *chanState) availableTo(w *worm) bool {
+	return c.owner == nil && (len(c.queue) == 0 || c.queue[0] == w)
+}
+
+// availableToQueued is availableTo for a worm known to be enqueued.
+func (c *chanState) availableToQueued(w *worm) bool {
+	return c.owner == nil && len(c.queue) > 0 && c.queue[0] == w
+}
+
+func (c *chanState) take(w *worm) {
+	if len(c.queue) > 0 && c.queue[0] == w {
+		c.queue = c.queue[1:]
+	}
+	c.owner = w
+}
+
+func (c *chanState) release(w *worm) {
+	if c.owner == w {
+		c.owner = nil
+	}
+}
+
+// Network is the simulated wormhole network.
+type Network struct {
+	topo     topology.Topology
+	chans    map[dfr.Channel]*chanState
+	worms    []*worm
+	nextID   int
+	cycle    int64
+	progress bool // did any worm advance this cycle
+
+	// Observers.
+	onDelivery       func(dest topology.NodeID, latencyCycles int64)
+	onDeliveryDetail func(dest topology.NodeID, latencyCycles int64, mcastSize int)
+	onComplete       func(latencyCycles int64)
+}
+
+// NewNetwork returns an empty network over topo. Channels are created
+// lazily, so any channel class used by the injected routes is accepted.
+func NewNetwork(topo topology.Topology) *Network {
+	return &Network{topo: topo, chans: make(map[dfr.Channel]*chanState)}
+}
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// ActiveWorms returns the number of in-flight worms.
+func (n *Network) ActiveWorms() int { return len(n.worms) }
+
+// Busy implements dfr.ChannelOracle: it reports whether a channel is
+// currently held by a worm, letting adaptive schemes route around live
+// congestion at injection time.
+func (n *Network) Busy(c dfr.Channel) bool {
+	st, ok := n.chans[c]
+	return ok && st.owner != nil
+}
+
+// OnDelivery registers a callback invoked for every destination delivery
+// with the per-destination latency in cycles.
+func (n *Network) OnDelivery(fn func(dest topology.NodeID, latencyCycles int64)) {
+	n.onDelivery = fn
+}
+
+// OnDeliveryDetail registers a delivery callback that also receives the
+// destination count of the delivering multicast, so unicast (size 1) and
+// multicast traffic can be measured separately (the Section 8.2
+// interaction study).
+func (n *Network) OnDeliveryDetail(fn func(dest topology.NodeID, latencyCycles int64, mcastSize int)) {
+	n.onDeliveryDetail = fn
+}
+
+// OnComplete registers a callback invoked when the last destination of a
+// multicast is delivered, with the multicast's completion latency.
+func (n *Network) OnComplete(fn func(latencyCycles int64)) { n.onComplete = fn }
+
+func (n *Network) state(c dfr.Channel) *chanState {
+	s, ok := n.chans[c]
+	if !ok {
+		s = &chanState{}
+		n.chans[c] = s
+	}
+	return s
+}
+
+// InjectMulticast injects one multicast routed as a set of path routes
+// and/or tree routes, all spawned at the current cycle. lengthFlits is
+// the message length in flits.
+func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, lengthFlits int) {
+	if lengthFlits < 1 {
+		panic("wormsim: message must have at least one flit")
+	}
+	mc := &mcastState{spawned: n.cycle}
+	for _, p := range paths {
+		mc.size += len(p.Dests)
+	}
+	for _, t := range trees {
+		mc.size += len(t.Dests)
+	}
+	for _, p := range paths {
+		if len(p.Nodes) < 2 {
+			// Degenerate: source-only path with no channels; its
+			// destinations could only be the source, which MulticastSet
+			// forbids.
+			continue
+		}
+		chans := p.Channels()
+		for _, c := range chans {
+			if !n.topo.Adjacent(c.From, c.To) {
+				panic(fmt.Sprintf("wormsim: route uses non-channel %v", c))
+			}
+		}
+		w := &worm{
+			kind:     pathWorm,
+			id:       n.nextID,
+			chans:    chans,
+			length:   lengthFlits,
+			spawned:  n.cycle,
+			queuedAt: -1,
+			mcast:    mc,
+		}
+		n.nextID++
+		pos := make(map[topology.NodeID]int, len(p.Nodes))
+		for i, node := range p.Nodes {
+			if _, ok := pos[node]; !ok {
+				pos[node] = i
+			}
+		}
+		for _, d := range p.Dests {
+			idx, ok := pos[d]
+			if !ok || idx == 0 {
+				panic(fmt.Sprintf("wormsim: path does not visit destination %d", d))
+			}
+			w.deliveries = append(w.deliveries, delivery{dest: d, idx: idx})
+			w.undeliv++
+			mc.remaining++
+		}
+		n.worms = append(n.worms, w)
+	}
+	for _, t := range trees {
+		if len(t.Edges) == 0 {
+			continue
+		}
+		w := n.buildTreeWorm(t, lengthFlits, mc)
+		n.worms = append(n.worms, w)
+	}
+}
+
+// buildTreeWorm converts a TreeRoute into a tree worm with per-depth
+// frontier levels.
+func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mc *mcastState) *worm {
+	depths := t.Depths()
+	maxd := 0
+	for _, e := range t.Edges {
+		if !n.topo.Adjacent(e.From, e.To) {
+			panic(fmt.Sprintf("wormsim: tree uses non-channel %v", e))
+		}
+		if depths[e.To] > maxd {
+			maxd = depths[e.To]
+		}
+	}
+	levels := make([]treeLevel, maxd)
+	for _, e := range t.Edges {
+		l := &levels[depths[e.To]-1]
+		l.channels = append(l.channels, e)
+	}
+	for i := range levels {
+		levels[i].taken = make([]bool, len(levels[i].channels))
+		levels[i].missing = len(levels[i].channels)
+	}
+	w := &worm{
+		kind:     treeWorm,
+		id:       n.nextID,
+		levels:   levels,
+		length:   lengthFlits,
+		spawned:  n.cycle,
+		queuedAt: -1,
+		mcast:    mc,
+	}
+	n.nextID++
+	for _, d := range t.Dests {
+		dep, ok := depths[d]
+		if !ok || dep == 0 {
+			panic(fmt.Sprintf("wormsim: tree does not reach destination %d", d))
+		}
+		w.deliveries = append(w.deliveries, delivery{dest: d, idx: dep})
+		w.undeliv++
+		mc.remaining++
+	}
+	return w
+}
+
+// Step advances the simulation by one cycle. It returns true if any worm
+// made progress.
+func (n *Network) Step() bool {
+	n.cycle++
+	n.progress = false
+	alive := n.worms[:0]
+	for _, w := range n.worms {
+		var live bool
+		if w.kind == pathWorm {
+			live = n.advancePath(w)
+		} else {
+			live = n.advanceTree(w)
+		}
+		if live {
+			alive = append(alive, w)
+		}
+	}
+	n.worms = alive
+	return n.progress
+}
+
+// advancePath moves a path worm one cycle; false retires it.
+func (n *Network) advancePath(w *worm) bool {
+	moved := false
+	if w.headIdx < len(w.chans) {
+		c := w.chans[w.headIdx]
+		st := n.state(c)
+		if st.availableTo(w) {
+			st.take(w)
+			w.headIdx++
+			w.progress++
+			moved = true
+		} else if w.queuedAt != w.headIdx {
+			st.enqueue(w)
+			w.queuedAt = w.headIdx
+		}
+	} else {
+		// Fully routed; the body drains at one flit per cycle.
+		w.progress++
+		moved = true
+	}
+	if moved {
+		n.progress = true
+		// Deliveries: the last flit crosses the arrival channel at
+		// progress idx + length - 1.
+		for i := range w.deliveries {
+			d := &w.deliveries[i]
+			if !d.done && w.progress >= d.idx+w.length-1 {
+				n.deliver(w, d)
+			}
+		}
+		// Releases: the tail crosses channel index i at progress i + length.
+		for w.released < len(w.chans) && w.progress >= w.released+w.length {
+			n.state(w.chans[w.released]).release(w)
+			w.released++
+		}
+	}
+	return w.released < len(w.chans) || w.undeliv > 0
+}
+
+// advanceTree moves a tree worm one cycle; false retires it. The header
+// frontier is the level at index w.headIdx: the worm claims whatever
+// frontier channels are free (holding them) and crosses the level — one
+// level per cycle, lock-step — only when the whole frontier is secured.
+// w.progress counts crossed levels plus drain cycles, exactly like a path
+// worm's channel count, so delivery and release timing share the path
+// formulas with depth in place of path position.
+func (n *Network) advanceTree(w *worm) bool {
+	moved := false
+	if w.headIdx < len(w.levels) {
+		l := &w.levels[w.headIdx]
+		if !l.queued {
+			for _, c := range l.channels {
+				n.state(c).enqueue(w)
+			}
+			l.queued = true
+		}
+		for i, c := range l.channels {
+			if l.taken[i] {
+				continue
+			}
+			if st := n.state(c); st.availableToQueued(w) {
+				st.take(w)
+				l.taken[i] = true
+				l.missing--
+			}
+		}
+		if l.missing == 0 {
+			w.headIdx++
+			w.progress++
+			moved = true
+		}
+	} else {
+		// Fully acquired; the replicated body drains one flit per cycle.
+		w.progress++
+		moved = true
+	}
+	if moved {
+		n.progress = true
+		for i := range w.deliveries {
+			d := &w.deliveries[i]
+			if !d.done && w.progress >= d.idx+w.length-1 {
+				n.deliver(w, d)
+			}
+		}
+		for w.released < len(w.levels) && w.progress >= w.released+w.length {
+			for _, c := range w.levels[w.released].channels {
+				n.state(c).release(w)
+			}
+			w.released++
+		}
+	}
+	return w.released < len(w.levels) || w.undeliv > 0
+}
+
+// deliver records one destination delivery.
+func (n *Network) deliver(w *worm, d *delivery) {
+	d.done = true
+	w.undeliv--
+	if n.onDelivery != nil {
+		n.onDelivery(d.dest, n.cycle-w.spawned)
+	}
+	if n.onDeliveryDetail != nil {
+		n.onDeliveryDetail(d.dest, n.cycle-w.spawned, w.mcast.size)
+	}
+	w.mcast.remaining--
+	if w.mcast.remaining == 0 && n.onComplete != nil {
+		n.onComplete(n.cycle - w.mcast.spawned)
+	}
+}
+
+// DeadlockedWormIDs returns the ids of the worms on one wait-for cycle,
+// or nil; a diagnostic wrapper around DetectDeadlock.
+func (n *Network) DeadlockedWormIDs() []int {
+	cyc := n.DetectDeadlock()
+	if cyc == nil {
+		return nil
+	}
+	ids := make([]int, len(cyc))
+	for i, w := range cyc {
+		ids[i] = w.id
+	}
+	return ids
+}
+
+// DetectDeadlock searches the wait-for graph for a cycle: worm A waits
+// for worm B when B owns a channel A's header needs, or when B is queued
+// ahead of A on it. Because a blocked worm holds every channel it has
+// acquired until its header advances (wormhole flow control,
+// Section 2.3.4), a wait-for cycle is a permanent deadlock. It returns
+// the worms on one such cycle, or nil.
+func (n *Network) DetectDeadlock() []*worm {
+	index := make(map[*worm]int, len(n.worms))
+	for i, w := range n.worms {
+		index[w] = i
+	}
+	adj := make([][]int, len(n.worms))
+	addWait := func(from *worm, c dfr.Channel) {
+		st := n.state(c)
+		i := index[from]
+		if st.owner != nil && st.owner != from {
+			if j, ok := index[st.owner]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		for _, q := range st.queue {
+			if q == from {
+				break
+			}
+			if j, ok := index[q]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	for _, w := range n.worms {
+		if w.kind == pathWorm {
+			if w.headIdx < len(w.chans) {
+				addWait(w, w.chans[w.headIdx])
+			}
+			continue
+		}
+		if w.headIdx >= len(w.levels) {
+			continue // draining; never blocks
+		}
+		l := &w.levels[w.headIdx]
+		for i, c := range l.channels {
+			if !l.taken[i] {
+				addWait(w, c)
+			}
+		}
+	}
+	// DFS cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(n.worms))
+	parent := make([]int, len(n.worms))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []*worm
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycle = []*worm{n.worms[v]}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, n.worms[x])
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := range n.worms {
+		if color[i] == white && dfs(i) {
+			return cycle
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package wormsim
+
+import (
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/topology"
+)
+
+// runUntilQuiet steps the network until no worms remain or a stall
+// persists for limit cycles; it returns true if the network drained.
+func runUntilQuiet(n *Network, limit int64) bool {
+	var lastProgress int64
+	for n.ActiveWorms() > 0 {
+		if n.Step() {
+			lastProgress = n.Cycle()
+		} else if n.Cycle()-lastProgress > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// pathTo builds a simple path route along given nodes delivering to the
+// last one.
+func pathTo(nodes ...topology.NodeID) dfr.PathRoute {
+	return dfr.PathRoute{Nodes: nodes, Dests: []topology.NodeID{nodes[len(nodes)-1]}}
+}
+
+// TestSingleWormLatency pins the contention-free pipeline model: a worm
+// over D channels carrying L flits delivers in D + L - 1 cycles.
+func TestSingleWormLatency(t *testing.T) {
+	m := topology.NewMesh2D(8, 1)
+	n := NewNetwork(m)
+	var got int64 = -1
+	n.OnDelivery(func(_ topology.NodeID, cycles int64) { got = cycles })
+	const L = 16
+	n.InjectMulticast([]dfr.PathRoute{pathTo(0, 1, 2, 3, 4, 5)}, nil, L)
+	if !runUntilQuiet(n, 1000) {
+		t.Fatal("network did not drain")
+	}
+	want := int64(5 + L - 1)
+	if got != want {
+		t.Errorf("latency %d cycles, want %d", got, want)
+	}
+}
+
+// TestSingleFlitLatency checks the L=1 corner: latency equals the hop
+// count.
+func TestSingleFlitLatency(t *testing.T) {
+	m := topology.NewMesh2D(8, 1)
+	n := NewNetwork(m)
+	var got int64 = -1
+	n.OnDelivery(func(_ topology.NodeID, c int64) { got = c })
+	n.InjectMulticast([]dfr.PathRoute{pathTo(0, 1, 2, 3)}, nil, 1)
+	if !runUntilQuiet(n, 1000) {
+		t.Fatal("did not drain")
+	}
+	if got != 3 {
+		t.Errorf("latency %d, want 3", got)
+	}
+}
+
+// TestPathWormMultiDestination checks per-destination delivery along one
+// path: nearer destinations receive the message earlier.
+func TestPathWormMultiDestination(t *testing.T) {
+	m := topology.NewMesh2D(8, 1)
+	n := NewNetwork(m)
+	lat := map[topology.NodeID]int64{}
+	n.OnDelivery(func(d topology.NodeID, c int64) { lat[d] = c })
+	completed := int64(-1)
+	n.OnComplete(func(c int64) { completed = c })
+	p := dfr.PathRoute{Nodes: []topology.NodeID{0, 1, 2, 3, 4}, Dests: []topology.NodeID{2, 4}}
+	const L = 8
+	n.InjectMulticast([]dfr.PathRoute{p}, nil, L)
+	if !runUntilQuiet(n, 1000) {
+		t.Fatal("did not drain")
+	}
+	if lat[2] != 2+L-1 || lat[4] != 4+L-1 {
+		t.Errorf("latencies %v, want 2->%d 4->%d", lat, 2+L-1, 4+L-1)
+	}
+	if completed != lat[4] {
+		t.Errorf("completion %d, want %d", completed, lat[4])
+	}
+}
+
+// TestChannelContention checks FIFO blocking: a second worm wanting the
+// same channel waits until the first worm's tail releases it.
+func TestChannelContention(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	n := NewNetwork(m)
+	lat := map[topology.NodeID]int64{}
+	n.OnDelivery(func(d topology.NodeID, c int64) { lat[d] = c })
+	const L = 10
+	// Worm A: 0 -> 1 -> 2; worm B: 4 -> 0 -> 1 -> 5 shares channel (0,1)
+	// but must wait for A's tail.
+	n.InjectMulticast([]dfr.PathRoute{pathTo(0, 1, 2)}, nil, L)
+	n.InjectMulticast([]dfr.PathRoute{pathTo(4, 0, 1, 5)}, nil, L)
+	if !runUntilQuiet(n, 1000) {
+		t.Fatal("did not drain")
+	}
+	if lat[2] != 2+L-1 {
+		t.Errorf("worm A latency %d, want %d", lat[2], 2+L-1)
+	}
+	// Channel (0,1) is released when A's tail crosses it: progress 1+L,
+	// i.e. cycle 1+L. B acquired (4,0) at cycle 1, then stalls; it can
+	// take (0,1) at the cycle after release.
+	if lat[5] <= int64(3+L-1) {
+		t.Errorf("worm B latency %d should exceed its contention-free %d", lat[5], 3+L-1)
+	}
+}
+
+// TestPathDeadlockDetected builds the classic cyclic wait with two long
+// worms on a 2x2 mesh and checks that the stall is detected rather than
+// spinning forever.
+func TestPathDeadlockDetected(t *testing.T) {
+	m := topology.NewMesh2D(2, 2)
+	n := NewNetwork(m)
+	const L = 64
+	// Worm A: 0 -> 1 -> 3 -> 2; worm B: 3 -> 2 -> 0 -> 1. After two
+	// cycles A holds (0,1),(1,3) and wants (3,2) while B holds
+	// (3,2),(2,0) and wants (0,1): a cycle.
+	n.InjectMulticast([]dfr.PathRoute{pathTo(0, 1, 3, 2)}, nil, L)
+	n.InjectMulticast([]dfr.PathRoute{pathTo(3, 2, 0, 1)}, nil, L)
+	if runUntilQuiet(n, 500) {
+		t.Fatal("expected deadlock, network drained")
+	}
+	if n.ActiveWorms() != 2 {
+		t.Errorf("both worms should be stuck, %d active", n.ActiveWorms())
+	}
+}
+
+// TestFig61TreeDeadlockInSimulator reproduces the Fig. 6.1/6.2 deadlock
+// dynamically: simultaneous lock-step broadcast trees from nodes 000 and
+// 001 of a 3-cube block forever.
+func TestFig61TreeDeadlockInSimulator(t *testing.T) {
+	h := topology.NewHypercube(3)
+	n := NewNetwork(h)
+	const L = 32
+	n.InjectMulticast(nil, []dfr.TreeRoute{dfr.ECubeBroadcastTree(h, 0)}, L)
+	n.InjectMulticast(nil, []dfr.TreeRoute{dfr.ECubeBroadcastTree(h, 1)}, L)
+	if runUntilQuiet(n, 500) {
+		t.Fatal("expected the Fig. 6.1 deadlock, network drained")
+	}
+}
+
+// TestTreeWormAloneDelivers checks that a single lock-step tree on an
+// idle network delivers every destination at depth + L - 1 cycles.
+func TestTreeWormAloneDelivers(t *testing.T) {
+	h := topology.NewHypercube(3)
+	n := NewNetwork(h)
+	lat := map[topology.NodeID]int64{}
+	n.OnDelivery(func(d topology.NodeID, c int64) { lat[d] = c })
+	const L = 16
+	tree := dfr.ECubeBroadcastTree(h, 0)
+	n.InjectMulticast(nil, []dfr.TreeRoute{tree}, L)
+	if !runUntilQuiet(n, 1000) {
+		t.Fatal("did not drain")
+	}
+	for v := topology.NodeID(1); int(v) < h.Nodes(); v++ {
+		want := int64(h.Distance(0, v) + L - 1)
+		if lat[v] != want {
+			t.Errorf("node %d latency %d, want %d", v, lat[v], want)
+		}
+	}
+}
+
+// TestFig64NaiveTreesDeadlockDynamic reproduces the Fig. 6.4 mesh
+// deadlock in the simulator, then shows the double-channel X-first
+// routing of the SAME two multicasts drains fine (Assertion 1).
+func TestFig64NaiveTreesDeadlockDynamic(t *testing.T) {
+	m := topology.NewMesh2D(4, 3)
+	id := func(x, y int) topology.NodeID { return m.ID(x, y) }
+	m0 := core.MustMulticastSet(m, id(1, 1), []topology.NodeID{id(0, 2), id(3, 1)})
+	m1 := core.MustMulticastSet(m, id(2, 1), []topology.NodeID{id(0, 1), id(3, 0)})
+	const L = 64
+
+	naive := NewNetwork(m)
+	naive.InjectMulticast(nil, dfr.XFirstTrees(m, m0), L)
+	naive.InjectMulticast(nil, dfr.XFirstTrees(m, m1), L)
+	if runUntilQuiet(naive, 500) {
+		t.Fatal("expected the Fig. 6.4 deadlock with naive trees")
+	}
+
+	safe := NewNetwork(m)
+	safe.InjectMulticast(nil, dfr.DoubleChannelXFirst(m, m0), L)
+	safe.InjectMulticast(nil, dfr.DoubleChannelXFirst(m, m1), L)
+	if !runUntilQuiet(safe, 2000) {
+		t.Fatal("double-channel X-first should not deadlock")
+	}
+}
+
+// TestRunDualPathConverges smoke-tests the full dynamic driver at light
+// load: it converges, nothing deadlocks, and the latency is at least the
+// contention-free floor L/B.
+func TestRunDualPathConverges(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	res, err := Run(Config{
+		Topology:               m,
+		Route:                  DualPathScheme(m, l),
+		MeanInterarrivalMicros: 2000,
+		AvgDests:               5,
+		Seed:                   1,
+		WarmupDeliveries:       200,
+		BatchSize:              200,
+		MinBatches:             6,
+		MaxCycles:              2_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("dual-path deadlocked")
+	}
+	if res.Deliveries == 0 {
+		t.Fatal("no deliveries measured")
+	}
+	floor := 128.0 / 20.0 // L/B in microseconds
+	if res.AvgLatencyMicros < floor {
+		t.Errorf("latency %.2f below serialization floor %.2f", res.AvgLatencyMicros, floor)
+	}
+	if res.AvgLatencyMicros > 40 {
+		t.Errorf("latency %.2f implausibly high at light load", res.AvgLatencyMicros)
+	}
+	if res.AvgCompletionMicros < res.AvgLatencyMicros {
+		t.Errorf("completion %.2f below per-destination %.2f",
+			res.AvgCompletionMicros, res.AvgLatencyMicros)
+	}
+}
+
+// TestRunSchemesNoDeadlockUnderLoad runs every deadlock-free scheme at a
+// heavy load long enough for channel conflicts to be pervasive and checks
+// that none of them deadlocks — the dynamic counterpart of the CDG
+// acyclicity proofs.
+func TestRunSchemesNoDeadlockUnderLoad(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	h := topology.NewHypercube(6)
+	lh := labeling.NewHypercubeGray(h)
+	schemes := []struct {
+		name  string
+		topo  topology.Topology
+		route RouteFunc
+	}{
+		{"dual-path mesh", m, DualPathScheme(m, l)},
+		{"multi-path mesh", m, MultiPathMeshScheme(m, l)},
+		{"fixed-path mesh", m, FixedPathScheme(m, l)},
+		{"double-channel tree", m, DoubleChannelTreeScheme(m)},
+		{"dual-path cube", h, DualPathScheme(h, lh)},
+		{"multi-path cube", h, MultiPathCubeScheme(h, lh)},
+	}
+	for _, s := range schemes {
+		res, err := Run(Config{
+			Topology:               s.topo,
+			Route:                  s.route,
+			MeanInterarrivalMicros: 400,
+			AvgDests:               6,
+			Seed:                   7,
+			WarmupDeliveries:       100,
+			BatchSize:              300,
+			MinBatches:             4,
+			MaxCycles:              150_000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if res.Deadlocked {
+			t.Errorf("%s deadlocked", s.name)
+		}
+		if res.Deliveries == 0 {
+			t.Errorf("%s made no deliveries", s.name)
+		}
+	}
+}
+
+// TestRunNaiveTreeDeadlocksUnderLoad demonstrates dynamically that the
+// naive single-channel tree scheme deadlocks under load (Section 6.1).
+func TestRunNaiveTreeDeadlocksUnderLoad(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	res, err := Run(Config{
+		Topology:               m,
+		Route:                  NaiveTreeScheme(m),
+		MeanInterarrivalMicros: 100,
+		AvgDests:               10,
+		Seed:                   3,
+		BatchSize:              1000,
+		MinBatches:             1000, // never converge; run until deadlock or cap
+		MaxCycles:              2_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Error("naive tree multicast should deadlock under load")
+	}
+}
+
+// TestInjectValidation checks the injection guards.
+func TestInjectValidation(t *testing.T) {
+	m := topology.NewMesh2D(3, 3)
+	n := NewNetwork(m)
+	for i, fn := range []func(){
+		func() { n.InjectMulticast([]dfr.PathRoute{pathTo(0, 1)}, nil, 0) },
+		func() {
+			n.InjectMulticast([]dfr.PathRoute{{Nodes: []topology.NodeID{0, 1},
+				Dests: []topology.NodeID{5}}}, nil, 4)
+		},
+		func() {
+			n.InjectMulticast([]dfr.PathRoute{{Nodes: []topology.NodeID{0, 5},
+				Dests: []topology.NodeID{5}}}, nil, 4)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDoubleChannelClassesAreDistinct checks that two worms on the same
+// physical link but different classes do not contend.
+func TestDoubleChannelClassesAreDistinct(t *testing.T) {
+	m := topology.NewMesh2D(3, 2)
+	n := NewNetwork(m)
+	lat := map[topology.NodeID]int64{}
+	n.OnDelivery(func(d topology.NodeID, c int64) {
+		if _, ok := lat[d]; !ok {
+			lat[d] = c
+		}
+	})
+	const L = 10
+	// Both worms cross the physical link 0 -> 1, on different channel
+	// copies: neither should wait.
+	a := dfr.PathRoute{Nodes: []topology.NodeID{0, 1, 2}, Class: 0, Dests: []topology.NodeID{2}}
+	b := dfr.PathRoute{Nodes: []topology.NodeID{0, 1, 4}, Class: 1, Dests: []topology.NodeID{4}}
+	n.InjectMulticast([]dfr.PathRoute{a}, nil, L)
+	n.InjectMulticast([]dfr.PathRoute{b}, nil, L)
+	if !runUntilQuiet(n, 1000) {
+		t.Fatal("did not drain")
+	}
+	if lat[2] != 2+L-1 || lat[4] != 2+L-1 {
+		t.Errorf("class-separated worms should not contend: %v", lat)
+	}
+}
+
+// TestDeadlockedWormIDs exercises the diagnostic id report on the classic
+// two-worm cycle.
+func TestDeadlockedWormIDs(t *testing.T) {
+	m := topology.NewMesh2D(2, 2)
+	n := NewNetwork(m)
+	const L = 64
+	n.InjectMulticast([]dfr.PathRoute{pathTo(0, 1, 3, 2)}, nil, L)
+	n.InjectMulticast([]dfr.PathRoute{pathTo(3, 2, 0, 1)}, nil, L)
+	if ids := n.DeadlockedWormIDs(); ids != nil {
+		t.Fatalf("no deadlock before any cycle: %v", ids)
+	}
+	runUntilQuiet(n, 200)
+	ids := n.DeadlockedWormIDs()
+	if len(ids) != 2 {
+		t.Fatalf("expected the two stuck worms, got %v", ids)
+	}
+}
