@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench bench-baseline results
+
+## check: everything CI runs — format, vet, build, race tests, quick benchmarks
+check: fmt vet build race bench
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: quick performance smoke — core throughput and figure pipeline
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkWormsimCyclesPerSec|BenchmarkDynamicFigures|BenchmarkSimulator' -benchtime 1x .
+
+## bench-baseline: regenerate the committed BENCH_wormsim.json
+bench-baseline:
+	$(GO) run ./cmd/mcfigures -bench -quick -parallel 1 -out .
+
+## results: regenerate every table and figure at full fidelity
+results:
+	$(GO) run ./cmd/mcfigures -out results

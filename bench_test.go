@@ -368,6 +368,34 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 }
 
+// BenchmarkWormsimCyclesPerSec reports the simulator core's cycle
+// throughput on the same workload as `mcfigures -bench`, so the
+// committed BENCH_wormsim.json baseline and this benchmark are directly
+// comparable.
+func BenchmarkWormsimCyclesPerSec(b *testing.B) {
+	var cycles int64
+	var secs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, s := experiments.SimThroughput(1990, 200_000)
+		cycles += c
+		secs += s
+	}
+	b.ReportMetric(float64(cycles)/secs, "cycles/sec")
+}
+
+// BenchmarkDynamicFigures regenerates all four Section 7.2 figures per
+// iteration — the end-to-end cost the figure pipeline pays.
+func BenchmarkDynamicFigures(b *testing.B) {
+	d := benchDyn()
+	for i := 0; i < b.N; i++ {
+		sinkFigure(b, experiments.Fig78LatencyVsLoadDouble(d))
+		sinkFigure(b, experiments.Fig79LatencyVsDestsDouble(d))
+		sinkFigure(b, experiments.Fig710LatencyVsLoadSingle(d))
+		sinkFigure(b, experiments.Fig711LatencyVsDestsSingle(d))
+	}
+}
+
 // BenchmarkPublicAPI exercises the facade end to end.
 func BenchmarkPublicAPI(b *testing.B) {
 	sys, err := multicastnet.NewMeshSystem(8, 8)

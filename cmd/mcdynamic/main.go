@@ -25,6 +25,7 @@ func main() {
 	maxCycles := flag.Int64("maxcycles", 0, "override cycle budget per point")
 	figID := flag.String("fig", "", "only this figure (7.8, 7.9, 7.10, 7.11)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	opts := experiments.DynamicDefaults()
@@ -35,6 +36,7 @@ func main() {
 	if *maxCycles > 0 {
 		opts.MaxCycles = *maxCycles
 	}
+	opts.Parallel = *parallel
 
 	figs := map[string]func(experiments.DynamicOptions) *stats.Figure{
 		"7.8":  experiments.Fig78LatencyVsLoadDouble,

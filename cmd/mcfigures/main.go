@@ -9,15 +9,19 @@
 //
 //	mcfigures -out results          # full fidelity (minutes)
 //	mcfigures -out results -quick   # reduced workloads (seconds)
+//	mcfigures -bench -out .         # write BENCH_wormsim.json only
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"multicastnet/internal/experiments"
 	"multicastnet/internal/stats"
@@ -26,6 +30,8 @@ import (
 func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "reduced workloads")
+	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	bench := flag.Bool("bench", false, "measure simulator throughput and figure wall times, write BENCH_wormsim.json, and exit")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -37,6 +43,12 @@ func main() {
 	if *quick {
 		sopts = experiments.Quick()
 		dopts = experiments.DynamicQuick()
+	}
+	dopts.Parallel = *parallel
+
+	if *bench {
+		runBench(*out, dopts)
+		return
 	}
 
 	// Chapter 5 tables and worked examples.
@@ -75,6 +87,57 @@ func main() {
 		writeFigure(*out, base+".csv", fig, true)
 		fmt.Printf("wrote %s\n", base)
 	}
+}
+
+// benchReport is the schema of BENCH_wormsim.json: simulator core
+// throughput plus the wall time of each dynamic figure at the selected
+// fidelity and worker count.
+type benchReport struct {
+	Quick        bool          `json:"quick"`
+	Parallel     int           `json:"parallel"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	CyclesPerSec float64       `json:"cycles_per_sec"`
+	Figures      []figureBench `json:"figures"`
+}
+
+type figureBench struct {
+	ID     string  `json:"id"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+func runBench(out string, dopts experiments.DynamicOptions) {
+	cycles, secs := experiments.SimThroughput(dopts.Seed, 200_000)
+	report := benchReport{
+		Quick:        dopts.Loads != nil,
+		Parallel:     dopts.Parallel,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		CyclesPerSec: float64(cycles) / secs,
+	}
+	figs := []struct {
+		id string
+		fn func(experiments.DynamicOptions) *stats.Figure
+	}{
+		{"Fig 7.8", experiments.Fig78LatencyVsLoadDouble},
+		{"Fig 7.9", experiments.Fig79LatencyVsDestsDouble},
+		{"Fig 7.10", experiments.Fig710LatencyVsLoadSingle},
+		{"Fig 7.11", experiments.Fig711LatencyVsDestsSingle},
+	}
+	for _, f := range figs {
+		start := time.Now()
+		f.fn(dopts)
+		report.Figures = append(report.Figures, figureBench{
+			ID: f.id, WallMs: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	path := filepath.Join(out, "BENCH_wormsim.json")
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%.0f cycles/sec)\n", path, report.CyclesPerSec)
 }
 
 func figBase(id string) string {

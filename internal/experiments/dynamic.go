@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"multicastnet/internal/labeling"
 	"multicastnet/internal/stats"
 	"multicastnet/internal/switching"
@@ -16,6 +18,11 @@ type DynamicOptions struct {
 	MaxCycles int64
 	Warmup    int
 	BatchSize int
+	// Parallel is the sweep worker count: each figure point is an
+	// independent simulation, fanned out over this many goroutines.
+	// 0 selects GOMAXPROCS; 1 runs sequentially. Figures are
+	// byte-identical for every value (see RunSweep).
+	Parallel int
 	// Loads overrides the inter-arrival sweep (mean microseconds between
 	// multicasts per node); nil selects the full sweep.
 	Loads []float64
@@ -38,9 +45,12 @@ func (o DynamicOptions) dests() []int {
 	return DestCounts
 }
 
-// DynamicDefaults are full-fidelity settings.
+// DynamicDefaults are full-fidelity settings. The cycle budget bounds the
+// runs that never meet the CI stopping rule — the saturated points, whose
+// in-flight worm backlog also makes each cycle progressively more
+// expensive; past ~1M cycles they only get slower, not tighter.
 func DynamicDefaults() DynamicOptions {
-	return DynamicOptions{Seed: 1990, MaxCycles: 3_000_000, Warmup: 2000, BatchSize: 1000}
+	return DynamicOptions{Seed: 1990, MaxCycles: 1_000_000, Warmup: 2000, BatchSize: 1000}
 }
 
 // DynamicQuick keeps runs short for benchmarks.
@@ -60,17 +70,24 @@ var Loads = []float64{1500, 1000, 700, 500, 400, 300, 250}
 // average destinations, 300 us inter-arrival).
 var DestCounts = []int{1, 5, 10, 15, 20, 25, 30, 35, 40, 45}
 
+// pointSeed derives the seed of one figure point from the sweep base
+// seed and the point's coordinates, so every simulation runs a
+// decorrelated workload that is independent of execution order.
+func pointSeed(o DynamicOptions, figID, series string, idx int) uint64 {
+	return stats.DeriveSeed(o.Seed, fmt.Sprintf("%s/%s/%d", figID, series, idx))
+}
+
 // dynamicPoint runs one simulation and returns the mean per-destination
 // latency in microseconds. Deadlocked or empty runs return a NaN-free
 // sentinel of 0, which the figures render as a gap.
 func dynamicPoint(topo topology.Topology, route wormsim.RouteFunc, interUs float64,
-	avgDests int, o DynamicOptions) (float64, bool) {
+	avgDests int, seed uint64, o DynamicOptions) (float64, bool) {
 	res, err := wormsim.Run(wormsim.Config{
 		Topology:               topo,
 		Route:                  route,
 		MeanInterarrivalMicros: interUs,
 		AvgDests:               avgDests,
-		Seed:                   o.Seed,
+		Seed:                   seed,
 		WarmupDeliveries:       o.Warmup,
 		BatchSize:              o.BatchSize,
 		MinBatches:             5,
@@ -89,6 +106,48 @@ func dynamicPoint(topo topology.Topology, route wormsim.RouteFunc, interUs float
 // the x axis: multicasts per millisecond per node.
 func loadAxis(interUs float64) float64 { return 1000 / interUs }
 
+// namedScheme pairs a series name with its routing scheme.
+type namedScheme struct {
+	name  string
+	route wormsim.RouteFunc
+}
+
+// loadSweep builds the points of a latency-vs-load figure: one
+// simulation per (scheme, inter-arrival) pair at avgDests destinations.
+func loadSweep(fig *stats.Figure, topo topology.Topology, schemes []namedScheme,
+	avgDests int, o DynamicOptions) []SweepPoint {
+	var points []SweepPoint
+	for _, s := range schemes {
+		series := fig.AddSeries(s.name)
+		for i, inter := range o.loads() {
+			route, inter := s.route, inter
+			seed := pointSeed(o, fig.ID, s.name, i)
+			points = append(points, seriesPoint(series, loadAxis(inter), func() (float64, bool) {
+				return dynamicPoint(topo, route, inter, avgDests, seed, o)
+			}))
+		}
+	}
+	return points
+}
+
+// destSweep builds the points of a latency-vs-destination-count figure at
+// a fixed inter-arrival time.
+func destSweep(fig *stats.Figure, topo topology.Topology, schemes []namedScheme,
+	interUs float64, o DynamicOptions) []SweepPoint {
+	var points []SweepPoint
+	for _, s := range schemes {
+		series := fig.AddSeries(s.name)
+		for i, d := range o.dests() {
+			route, d := s.route, d
+			seed := pointSeed(o, fig.ID, s.name, i)
+			points = append(points, seriesPoint(series, float64(d), func() (float64, bool) {
+				return dynamicPoint(topo, route, interUs, d, seed, o)
+			}))
+		}
+	}
+	return points
+}
+
 // Fig78LatencyVsLoadDouble reproduces Fig. 7.8: average network latency
 // vs load on a double-channel 8x8 mesh for the tree, dual-path, and
 // multi-path algorithms (10 average destinations, 128-byte messages,
@@ -98,22 +157,12 @@ func Fig78LatencyVsLoadDouble(o DynamicOptions) *stats.Figure {
 	l := labeling.NewMeshBoustrophedon(m)
 	fig := &stats.Figure{ID: "Fig 7.8", Title: "Latency under load, double-channel 8x8 mesh",
 		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
-	schemes := []struct {
-		name  string
-		route wormsim.RouteFunc
-	}{
+	schemes := []namedScheme{
 		{"tree", wormsim.DoubleChannelTreeScheme(m)},
 		{"dual-path", wormsim.DualPathDoubleScheme(m, l)},
 		{"multi-path", wormsim.MultiPathMeshDoubleScheme(m, l)},
 	}
-	for _, s := range schemes {
-		series := fig.AddSeries(s.name)
-		for _, inter := range o.loads() {
-			if y, ok := dynamicPoint(m, s.route, inter, 10, o); ok {
-				series.Add(loadAxis(inter), y)
-			}
-		}
-	}
+	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
 	return fig
 }
 
@@ -124,22 +173,12 @@ func Fig79LatencyVsDestsDouble(o DynamicOptions) *stats.Figure {
 	l := labeling.NewMeshBoustrophedon(m)
 	fig := &stats.Figure{ID: "Fig 7.9", Title: "Latency vs destinations, double-channel 8x8 mesh",
 		XLabel: "average destinations", YLabel: "latency (us)"}
-	schemes := []struct {
-		name  string
-		route wormsim.RouteFunc
-	}{
+	schemes := []namedScheme{
 		{"tree", wormsim.DoubleChannelTreeScheme(m)},
 		{"dual-path", wormsim.DualPathDoubleScheme(m, l)},
 		{"multi-path", wormsim.MultiPathMeshDoubleScheme(m, l)},
 	}
-	for _, s := range schemes {
-		series := fig.AddSeries(s.name)
-		for _, d := range o.dests() {
-			if y, ok := dynamicPoint(m, s.route, 300, d, o); ok {
-				series.Add(float64(d), y)
-			}
-		}
-	}
+	RunSweep(destSweep(fig, m, schemes, 300, o), o.Parallel)
 	return fig
 }
 
@@ -150,21 +189,11 @@ func Fig710LatencyVsLoadSingle(o DynamicOptions) *stats.Figure {
 	l := labeling.NewMeshBoustrophedon(m)
 	fig := &stats.Figure{ID: "Fig 7.10", Title: "Latency under load, single-channel 8x8 mesh",
 		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
-	schemes := []struct {
-		name  string
-		route wormsim.RouteFunc
-	}{
+	schemes := []namedScheme{
 		{"dual-path", wormsim.DualPathScheme(m, l)},
 		{"multi-path", wormsim.MultiPathMeshScheme(m, l)},
 	}
-	for _, s := range schemes {
-		series := fig.AddSeries(s.name)
-		for _, inter := range o.loads() {
-			if y, ok := dynamicPoint(m, s.route, inter, 10, o); ok {
-				series.Add(loadAxis(inter), y)
-			}
-		}
-	}
+	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
 	return fig
 }
 
@@ -177,22 +206,12 @@ func Fig711LatencyVsDestsSingle(o DynamicOptions) *stats.Figure {
 	l := labeling.NewMeshBoustrophedon(m)
 	fig := &stats.Figure{ID: "Fig 7.11", Title: "Latency vs destinations, single-channel 8x8 mesh",
 		XLabel: "average destinations", YLabel: "latency (us)"}
-	schemes := []struct {
-		name  string
-		route wormsim.RouteFunc
-	}{
+	schemes := []namedScheme{
 		{"dual-path", wormsim.DualPathScheme(m, l)},
 		{"multi-path", wormsim.MultiPathMeshScheme(m, l)},
 		{"fixed-path", wormsim.FixedPathScheme(m, l)},
 	}
-	for _, s := range schemes {
-		series := fig.AddSeries(s.name)
-		for _, d := range o.dests() {
-			if y, ok := dynamicPoint(m, s.route, 300, d, o); ok {
-				series.Add(float64(d), y)
-			}
-		}
-	}
+	RunSweep(destSweep(fig, m, schemes, 300, o), o.Parallel)
 	return fig
 }
 

@@ -66,15 +66,11 @@ func ExtVirtualChannelsDynamic(o DynamicOptions) *stats.Figure {
 	l := labeling.NewMeshBoustrophedon(m)
 	fig := &stats.Figure{ID: "Ext V-dyn", Title: "Virtual-channel partitioning under load (8x8 mesh)",
 		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
+	var schemes []namedScheme
 	for _, v := range []int{1, 2, 4} {
-		series := fig.AddSeries(vName(v))
-		route := wormsim.VirtualChannelScheme(m, l, v)
-		for _, inter := range o.loads() {
-			if y, ok := dynamicPoint(m, route, inter, 10, o); ok {
-				series.Add(loadAxis(inter), y)
-			}
-		}
+		schemes = append(schemes, namedScheme{vName(v), wormsim.VirtualChannelScheme(m, l, v)})
 	}
+	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
 	return fig
 }
 
@@ -101,34 +97,49 @@ func ExtUnicastMix(o DynamicOptions) *stats.Figure {
 	uni := fig.AddSeries("unicast latency")
 	mc := fig.AddSeries("multicast latency")
 	all := fig.AddSeries("overall latency")
-	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
-		res, err := wormsim.Run(wormsim.Config{
-			Topology:               m,
-			Route:                  wormsim.DualPathScheme(m, l),
-			MeanInterarrivalMicros: 400,
-			AvgDests:               10,
-			UnicastFraction:        frac,
-			Seed:                   o.Seed,
-			WarmupDeliveries:       o.Warmup,
-			BatchSize:              o.BatchSize,
-			MinBatches:             5,
-			MaxCycles:              o.MaxCycles,
+	var points []SweepPoint
+	for i, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		frac := frac
+		seed := pointSeed(o, fig.ID, "mix", i)
+		points = append(points, SweepPoint{
+			Run: func() any {
+				res, err := wormsim.Run(wormsim.Config{
+					Topology:               m,
+					Route:                  wormsim.DualPathScheme(m, l),
+					MeanInterarrivalMicros: 400,
+					AvgDests:               10,
+					UnicastFraction:        frac,
+					Seed:                   seed,
+					WarmupDeliveries:       o.Warmup,
+					BatchSize:              o.BatchSize,
+					MinBatches:             5,
+					MaxCycles:              o.MaxCycles,
+				})
+				if err != nil {
+					panic(err)
+				}
+				if res.Deadlocked || res.Deliveries == 0 {
+					return nil
+				}
+				return res
+			},
+			Commit: func(v any) {
+				if v == nil {
+					return
+				}
+				res := v.(wormsim.Result)
+				x := frac * 100
+				all.Add(x, res.AvgLatencyMicros)
+				if frac > 0 && res.AvgUnicastLatencyMicros > 0 {
+					uni.Add(x, res.AvgUnicastLatencyMicros)
+				}
+				if res.AvgMulticastLatencyMicros > 0 {
+					mc.Add(x, res.AvgMulticastLatencyMicros)
+				}
+			},
 		})
-		if err != nil {
-			panic(err)
-		}
-		if res.Deadlocked || res.Deliveries == 0 {
-			continue
-		}
-		x := frac * 100
-		all.Add(x, res.AvgLatencyMicros)
-		if frac > 0 && res.AvgUnicastLatencyMicros > 0 {
-			uni.Add(x, res.AvgUnicastLatencyMicros)
-		}
-		if res.AvgMulticastLatencyMicros > 0 {
-			mc.Add(x, res.AvgMulticastLatencyMicros)
-		}
 	}
+	RunSweep(points, o.Parallel)
 	return fig
 }
 
@@ -142,28 +153,38 @@ func ExtAdaptive(o DynamicOptions) *stats.Figure {
 		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
 	det := fig.AddSeries("deterministic")
 	ada := fig.AddSeries("adaptive")
-	for _, inter := range o.loads() {
-		if y, ok := dynamicPoint(m, wormsim.DualPathScheme(m, l), inter, 10, o); ok {
-			det.Add(loadAxis(inter), y)
-		}
-		res, err := wormsim.Run(wormsim.Config{
-			Topology:               m,
-			LiveRoute:              wormsim.AdaptiveDualPathScheme(m, l),
-			MeanInterarrivalMicros: inter,
-			AvgDests:               10,
-			Seed:                   o.Seed,
-			WarmupDeliveries:       o.Warmup,
-			BatchSize:              o.BatchSize,
-			MinBatches:             5,
-			MaxCycles:              o.MaxCycles,
-		})
-		if err != nil {
-			panic(err)
-		}
-		if !res.Deadlocked && res.Deliveries > 0 {
-			ada.Add(loadAxis(inter), res.AvgLatencyMicros)
-		}
+	detRoute := wormsim.DualPathScheme(m, l)
+	adaRoute := wormsim.AdaptiveDualPathScheme(m, l)
+	var points []SweepPoint
+	for i, inter := range o.loads() {
+		inter := inter
+		detSeed := pointSeed(o, fig.ID, "deterministic", i)
+		points = append(points, seriesPoint(det, loadAxis(inter), func() (float64, bool) {
+			return dynamicPoint(m, detRoute, inter, 10, detSeed, o)
+		}))
+		adaSeed := pointSeed(o, fig.ID, "adaptive", i)
+		points = append(points, seriesPoint(ada, loadAxis(inter), func() (float64, bool) {
+			res, err := wormsim.Run(wormsim.Config{
+				Topology:               m,
+				LiveRoute:              adaRoute,
+				MeanInterarrivalMicros: inter,
+				AvgDests:               10,
+				Seed:                   adaSeed,
+				WarmupDeliveries:       o.Warmup,
+				BatchSize:              o.BatchSize,
+				MinBatches:             5,
+				MaxCycles:              o.MaxCycles,
+			})
+			if err != nil {
+				panic(err)
+			}
+			if res.Deadlocked || res.Deliveries == 0 {
+				return 0, false
+			}
+			return res.AvgLatencyMicros, true
+		}))
 	}
+	RunSweep(points, o.Parallel)
 	return fig
 }
 

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"multicastnet/internal/stats"
+)
+
+// SweepPoint is one independent unit of a figure sweep. Run — usually a
+// full wormsim simulation — may execute on any worker goroutine and must
+// be a pure function of its captured configuration (every dynamic point
+// seeds its own RNG from a per-point derived seed, see stats.DeriveSeed).
+// Commit folds the result into the figure and always executes on the
+// caller's goroutine, in declaration order, after every Run finished.
+// That split is the determinism contract: the worker count changes the
+// execution schedule but never the figure bytes.
+type SweepPoint struct {
+	Run    func() any
+	Commit func(v any)
+}
+
+// seriesPoint adapts the common case — one simulation feeding one
+// (x, y) point of one series, skipped when the run reports no data.
+func seriesPoint(s *stats.Series, x float64, run func() (float64, bool)) SweepPoint {
+	return SweepPoint{
+		Run: func() any {
+			y, ok := run()
+			if !ok {
+				return nil
+			}
+			return y
+		},
+		Commit: func(v any) {
+			if v != nil {
+				s.Add(x, v.(float64))
+			}
+		},
+	}
+}
+
+// RunSweep executes the points' Run stages over a bounded worker pool of
+// the given size, then commits all results sequentially in declaration
+// order. workers <= 0 selects GOMAXPROCS; workers == 1 (or a single
+// point) runs inline with no goroutines.
+func RunSweep(points []SweepPoint, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]any, len(points))
+	if workers <= 1 {
+		for i := range points {
+			results[i] = points[i].Run()
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(points) {
+						return
+					}
+					results[i] = points[i].Run()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range points {
+		points[i].Commit(results[i])
+	}
+}

@@ -32,7 +32,7 @@ func (h *Hypercube) MaxDegree() int { return h.Dim }
 // Neighbors implements Topology. Neighbors are produced from dimension 0
 // (least-significant bit) upward.
 func (h *Hypercube) Neighbors(v NodeID, buf []NodeID) []NodeID {
-	checkNode(v, h.Nodes(), h.Name())
+	checkNode(v, h.Nodes(), h)
 	for i := 0; i < h.Dim; i++ {
 		buf = append(buf, v^NodeID(1<<i))
 	}
@@ -46,8 +46,8 @@ func (h *Hypercube) Adjacent(u, v NodeID) bool {
 
 // Distance implements Topology: the Hamming distance ||b(u) XOR b(v)||.
 func (h *Hypercube) Distance(u, v NodeID) int {
-	checkNode(u, h.Nodes(), h.Name())
-	checkNode(v, h.Nodes(), h.Name())
+	checkNode(u, h.Nodes(), h)
+	checkNode(v, h.Nodes(), h)
 	return popcount(uint(u ^ v))
 }
 
@@ -58,9 +58,9 @@ func (h *Hypercube) Diameter() int { return h.Dim }
 // of Section 5.2: for each bit position j, the region node takes u's bit
 // where s and t differ and the common bit where they agree.
 func (h *Hypercube) NearestOnShortestPaths(s, t, u NodeID) NodeID {
-	checkNode(s, h.Nodes(), h.Name())
-	checkNode(t, h.Nodes(), h.Name())
-	checkNode(u, h.Nodes(), h.Name())
+	checkNode(s, h.Nodes(), h)
+	checkNode(t, h.Nodes(), h)
+	checkNode(u, h.Nodes(), h)
 	differ := s ^ t // bits free to vary along shortest s-t paths
 	return (u & differ) | (s &^ differ)
 }

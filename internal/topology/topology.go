@@ -53,10 +53,13 @@ func NeighborsOf(t Topology, v NodeID) []NodeID {
 
 // checkNode panics when v is out of range for a topology of n nodes. The
 // topologies are used by randomized simulations; failing loudly on a bad
-// address catches workload-generation bugs immediately.
-func checkNode(v NodeID, n int, kind string) {
+// address catches workload-generation bugs immediately. It takes the
+// topology rather than its name so the Name() Sprintf is only paid on the
+// panic path — checkNode guards every coordinate conversion in the
+// simulator's inner loop.
+func checkNode(v NodeID, n int, t Topology) {
 	if v < 0 || int(v) >= n {
-		panic(fmt.Sprintf("topology: node %d out of range for %s with %d nodes", v, kind, n))
+		panic(fmt.Sprintf("topology: node %d out of range for %s with %d nodes", v, t.Name(), n))
 	}
 }
 

@@ -140,9 +140,11 @@ type Result struct {
 	// multi-destination messages (0 when there were none). Only
 	// populated when UnicastFraction > 0.
 	AvgMulticastLatencyMicros float64
-	// ThroughputPerMs is the measured delivery rate over the whole run
-	// (destination deliveries per millisecond, network-wide) — the
-	// throughput metric of Section 2.1.
+	// ThroughputPerMs is the measured delivery rate (destination
+	// deliveries per millisecond, network-wide) — the throughput metric
+	// of Section 2.1. It is computed over the measurement window only:
+	// post-warmup deliveries divided by post-warmup time, consistent
+	// with Deliveries.
 	ThroughputPerMs float64
 	// MulticastsSent counts injected multicasts.
 	MulticastsSent int
@@ -176,9 +178,13 @@ func Run(cfg Config) (Result, error) {
 	latency := stats.NewBatchMeans(cfg.BatchSize)
 	var completion, uniLatency, mcastLatency stats.Mean
 	seen := 0
+	var warmupEndCycle int64 // cycle at which the warmup window closed
 	net.OnDeliveryDetail(func(_ topology.NodeID, cycles int64, size int) {
 		seen++
 		if seen > cfg.WarmupDeliveries {
+			if seen == cfg.WarmupDeliveries+1 {
+				warmupEndCycle = net.Cycle()
+			}
 			us := float64(cycles) * flitUs
 			latency.Add(us)
 			if size == 1 {
@@ -192,34 +198,39 @@ func Run(cfg Config) (Result, error) {
 		completion.Add(float64(cycles) * flitUs)
 	})
 
-	// Per-node next spawn cycle.
+	// Next-spawn events, one per node, on a min-heap ordered by
+	// (cycle, node). Spawn times are strictly increasing per node and the
+	// node id breaks ties, so events pop in exactly the order the
+	// original per-cycle all-nodes scan visited them — the RNG stream,
+	// and hence every result, is bit-identical.
 	interCycles := cfg.MeanInterarrivalMicros / flitUs
-	nextSpawn := make([]int64, topo.Nodes())
-	for i := range nextSpawn {
-		nextSpawn[i] = int64(rng.ExpFloat64(interCycles))
+	spawns := make(spawnHeap, 0, topo.Nodes())
+	for i := 0; i < topo.Nodes(); i++ {
+		spawns.push(spawnEvent{at: int64(rng.ExpFloat64(interCycles)), node: int32(i)})
 	}
 
 	res := Result{}
 	var lastProgress int64
+	checkedBatches := -1 // batch count at the last convergence test
 	for net.Cycle() < cfg.MaxCycles {
 		now := net.Cycle()
-		for node := range nextSpawn {
-			for nextSpawn[node] <= now {
-				nextSpawn[node] += int64(rng.ExpFloat64(interCycles)) + 1
-				avg := cfg.AvgDests
-				if cfg.UnicastFraction > 0 && rng.Float64() < cfg.UnicastFraction {
-					avg = -1 // sentinel: exactly one destination
-				}
-				k := randomMulticast(topo, rng, topology.NodeID(node), avg)
-				var inj Injection
-				if cfg.LiveRoute != nil {
-					inj = cfg.LiveRoute(k, net)
-				} else {
-					inj = cfg.Route(k)
-				}
-				net.InjectMulticast(inj.Paths, inj.Trees, lengthFlits)
-				res.MulticastsSent++
+		for spawns[0].at <= now {
+			ev := spawns.pop()
+			ev.at += int64(rng.ExpFloat64(interCycles)) + 1
+			avg := cfg.AvgDests
+			if cfg.UnicastFraction > 0 && rng.Float64() < cfg.UnicastFraction {
+				avg = -1 // sentinel: exactly one destination
 			}
+			k := randomMulticast(topo, rng, topology.NodeID(ev.node), avg)
+			var inj Injection
+			if cfg.LiveRoute != nil {
+				inj = cfg.LiveRoute(k, net)
+			} else {
+				inj = cfg.Route(k)
+			}
+			net.InjectMulticast(inj.Paths, inj.Trees, lengthFlits)
+			res.MulticastsSent++
+			spawns.push(ev)
 		}
 		if net.Step() {
 			lastProgress = net.Cycle()
@@ -233,9 +244,38 @@ func Run(cfg Config) (Result, error) {
 			res.Deadlocked = true
 			break
 		}
-		if latency.Converged(cfg.CIFrac, cfg.MinBatches) {
-			res.Converged = true
-			break
+		// Converged only changes when a batch completes; testing it per
+		// batch instead of per cycle skips the t-interval arithmetic on
+		// the millions of cycles in between.
+		if nb := latency.Batches(); nb != checkedBatches {
+			checkedBatches = nb
+			if latency.Converged(cfg.CIFrac, cfg.MinBatches) {
+				res.Converged = true
+				break
+			}
+		}
+		// Event-driven fast-forward: with no movable worm, the network
+		// state is frozen until the next injection, so the intervening
+		// cycles are no-ops. Jump the clock to the next event the loop
+		// would react to — a spawn, a periodic deadlock check (all-blocked
+		// worms are a wait-for cycle the %64 check will report), or the
+		// stall limit — keeping cycle counts identical to stepping.
+		if !net.movable() {
+			target := spawns[0].at
+			if net.ActiveWorms() > 0 {
+				if b := (net.Cycle()/64+1)*64 - 1; b < target {
+					target = b
+				}
+				if s := lastProgress + cfg.StallLimit; s < target {
+					target = s
+				}
+			}
+			if target > cfg.MaxCycles {
+				target = cfg.MaxCycles
+			}
+			if target > net.Cycle() {
+				net.cycle = target
+			}
 		}
 	}
 	res.AvgLatencyMicros = latency.Mean()
@@ -248,11 +288,58 @@ func Run(cfg Config) (Result, error) {
 	res.AvgMulticastLatencyMicros = mcastLatency.Value()
 	res.Deliveries = latency.Observations()
 	res.Cycles = net.Cycle()
-	if res.Cycles > 0 {
-		elapsedMs := float64(res.Cycles) * flitUs / 1000
-		res.ThroughputPerMs = float64(seen) / elapsedMs
+	if cycles := res.Cycles - warmupEndCycle; cycles > 0 {
+		elapsedMs := float64(cycles) * flitUs / 1000
+		res.ThroughputPerMs = float64(latency.Observations()) / elapsedMs
 	}
 	return res, nil
+}
+
+// spawnEvent is one pending multicast generation: node fires at cycle at.
+type spawnEvent struct {
+	at   int64
+	node int32
+}
+
+// spawnHeap is a binary min-heap of spawn events ordered by (at, node).
+type spawnHeap []spawnEvent
+
+func (h *spawnHeap) push(e spawnEvent) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p].at < s[i].at || (s[p].at == s[i].at && s[p].node < s[i].node) {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *spawnHeap) pop() spawnEvent {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && (s[l].at < s[min].at || (s[l].at == s[min].at && s[l].node < s[min].node)) {
+			min = l
+		}
+		if r < len(s) && (s[r].at < s[min].at || (s[r].at == s[min].at && s[r].node < s[min].node)) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // randomMulticast draws a multicast set with a uniform destination count

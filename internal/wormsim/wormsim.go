@@ -24,10 +24,26 @@
 // channel busy enqueues on it and acquires it, in order, once free.
 // Deadlock is detected via wait-for-graph cycles and reported rather than
 // hidden.
+//
+// # Performance architecture
+//
+// The simulator is indexed and event-driven (see DESIGN.md, "Simulator
+// performance architecture"):
+//
+//   - Channels are interned to dense int32 ids at injection time, so the
+//     per-cycle inner loop indexes a flat []chanState slice instead of
+//     hashing dfr.Channel map keys.
+//   - Blocked worms are parked: they leave the active list and are woken
+//     only when a channel they wait on is released to them (FIFO heads
+//     only), instead of being re-polled every cycle. Wakeups are merged
+//     into the active scan in ascending worm-id order, which keeps the
+//     cycle-level semantics bit-identical to the original every-worm scan
+//     (worms were always processed in injection order).
 package wormsim
 
 import (
 	"fmt"
+	"sort"
 
 	"multicastnet/internal/dfr"
 	"multicastnet/internal/topology"
@@ -54,7 +70,7 @@ type delivery struct {
 // The lock-step header advances a full level at a time, claiming free
 // channels immediately and waiting (while holding them) for the rest.
 type treeLevel struct {
-	channels []dfr.Channel
+	channels []int32 // interned channel ids
 	taken    []bool
 	missing  int
 	queued   bool
@@ -67,11 +83,11 @@ type worm struct {
 	id   int
 
 	// Path worms.
-	chans    []dfr.Channel
-	headIdx  int // next channel index to acquire
-	queuedAt int // headIdx value already enqueued for (-1: none)
-	progress int // total head advances, including drain into the final destination
-	released int // leading channels already released
+	chans    []int32 // interned channel ids along the route
+	headIdx  int     // next channel index to acquire
+	queuedAt int     // headIdx value already enqueued for (-1: none)
+	progress int     // total head advances, including drain into the final destination
+	released int     // leading channels already released
 
 	// Tree worms.
 	levels []treeLevel
@@ -80,6 +96,12 @@ type worm struct {
 	undeliv    int
 	length     int   // message length in flits
 	spawned    int64 // cycle at which the multicast was initiated
+
+	// Scheduling state (see Step): a parked worm is blocked and off the
+	// active list; waking is idempotent per cycle via wakePending.
+	parked      bool
+	wakePending bool
+	done        bool // retired; awaiting compaction out of n.worms
 
 	mcast *mcastState
 }
@@ -122,20 +144,32 @@ func (c *chanState) take(w *worm) {
 	c.owner = w
 }
 
-func (c *chanState) release(w *worm) {
-	if c.owner == w {
-		c.owner = nil
-	}
-}
-
 // Network is the simulated wormhole network.
 type Network struct {
-	topo     topology.Topology
-	chans    map[dfr.Channel]*chanState
-	worms    []*worm
+	topo topology.Topology
+
+	// Channel interning: dfr.Channel keys are resolved to dense ids once
+	// at injection time; every per-cycle access is a slice index.
+	chanIDs map[dfr.Channel]int32
+	chans   []chanState
+
+	worms    []*worm // all in-flight worms, ascending id, lazily compacted
+	inFlight int     // live entries in worms
 	nextID   int
 	cycle    int64
 	progress bool // did any worm advance this cycle
+
+	// Event scheduling: active holds the worms that may move this cycle
+	// (ascending id). Releases wake parked FIFO heads; a wake lands in
+	// wokenNow when the target's id is still ahead of the scan position
+	// (it moves this cycle, as it would under the full scan) or in
+	// wokenNext otherwise (it moves next cycle).
+	active    []*worm
+	nextBuf   []*worm
+	wokenNow  wormHeap
+	wokenNext []*worm
+	scanID    int  // id of the worm being processed by Step
+	inStep    bool // routes wakes between wokenNow and wokenNext
 
 	// Observers.
 	onDelivery       func(dest topology.NodeID, latencyCycles int64)
@@ -146,21 +180,30 @@ type Network struct {
 // NewNetwork returns an empty network over topo. Channels are created
 // lazily, so any channel class used by the injected routes is accepted.
 func NewNetwork(topo topology.Topology) *Network {
-	return &Network{topo: topo, chans: make(map[dfr.Channel]*chanState)}
+	return &Network{topo: topo, chanIDs: make(map[dfr.Channel]int32)}
 }
 
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() int64 { return n.cycle }
 
 // ActiveWorms returns the number of in-flight worms.
-func (n *Network) ActiveWorms() int { return len(n.worms) }
+func (n *Network) ActiveWorms() int { return n.inFlight }
+
+// movable reports whether any worm can advance without external input:
+// the active list, this cycle's residual wakes, and next cycle's wakes
+// are all empty. With no movable worms and no pending injections the
+// network state is frozen, which Run exploits to fast-forward idle
+// cycles.
+func (n *Network) movable() bool {
+	return len(n.active) > 0 || len(n.wokenNow) > 0 || len(n.wokenNext) > 0
+}
 
 // Busy implements dfr.ChannelOracle: it reports whether a channel is
 // currently held by a worm, letting adaptive schemes route around live
 // congestion at injection time.
 func (n *Network) Busy(c dfr.Channel) bool {
-	st, ok := n.chans[c]
-	return ok && st.owner != nil
+	id, ok := n.chanIDs[c]
+	return ok && n.chans[id].owner != nil
 }
 
 // OnDelivery registers a callback invoked for every destination delivery
@@ -181,13 +224,29 @@ func (n *Network) OnDeliveryDetail(fn func(dest topology.NodeID, latencyCycles i
 // multicast is delivered, with the multicast's completion latency.
 func (n *Network) OnComplete(fn func(latencyCycles int64)) { n.onComplete = fn }
 
-func (n *Network) state(c dfr.Channel) *chanState {
-	s, ok := n.chans[c]
-	if !ok {
-		s = &chanState{}
-		n.chans[c] = s
+// intern resolves a channel key to its dense id, creating (and
+// validating) the state slot on first use. Validation therefore happens
+// once per distinct channel rather than once per injection.
+func (n *Network) intern(c dfr.Channel) int32 {
+	if id, ok := n.chanIDs[c]; ok {
+		return id
 	}
-	return s
+	if !n.topo.Adjacent(c.From, c.To) {
+		panic(fmt.Sprintf("wormsim: route uses non-channel %v", c))
+	}
+	id := int32(len(n.chans))
+	n.chanIDs[c] = id
+	n.chans = append(n.chans, chanState{})
+	return id
+}
+
+// addWorm registers a freshly injected worm: it joins both the in-flight
+// list and the active list (ids are strictly increasing, so appends keep
+// both sorted).
+func (n *Network) addWorm(w *worm) {
+	n.worms = append(n.worms, w)
+	n.inFlight++
+	n.active = append(n.active, w)
 }
 
 // InjectMulticast injects one multicast routed as a set of path routes
@@ -211,11 +270,9 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 			// forbids.
 			continue
 		}
-		chans := p.Channels()
-		for _, c := range chans {
-			if !n.topo.Adjacent(c.From, c.To) {
-				panic(fmt.Sprintf("wormsim: route uses non-channel %v", c))
-			}
+		chans := make([]int32, len(p.Nodes)-1)
+		for i := 1; i < len(p.Nodes); i++ {
+			chans[i-1] = n.intern(dfr.Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.Class})
 		}
 		w := &worm{
 			kind:     pathWorm,
@@ -242,14 +299,13 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 			w.undeliv++
 			mc.remaining++
 		}
-		n.worms = append(n.worms, w)
+		n.addWorm(w)
 	}
 	for _, t := range trees {
 		if len(t.Edges) == 0 {
 			continue
 		}
-		w := n.buildTreeWorm(t, lengthFlits, mc)
-		n.worms = append(n.worms, w)
+		n.addWorm(n.buildTreeWorm(t, lengthFlits, mc))
 	}
 }
 
@@ -259,9 +315,6 @@ func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mc *mcastState
 	depths := t.Depths()
 	maxd := 0
 	for _, e := range t.Edges {
-		if !n.topo.Adjacent(e.From, e.To) {
-			panic(fmt.Sprintf("wormsim: tree uses non-channel %v", e))
-		}
 		if depths[e.To] > maxd {
 			maxd = depths[e.To]
 		}
@@ -269,7 +322,7 @@ func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mc *mcastState
 	levels := make([]treeLevel, maxd)
 	for _, e := range t.Edges {
 		l := &levels[depths[e.To]-1]
-		l.channels = append(l.channels, e)
+		l.channels = append(l.channels, n.intern(e))
 	}
 	for i := range levels {
 		levels[i].taken = make([]bool, len(levels[i].channels))
@@ -297,41 +350,145 @@ func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mc *mcastState
 	return w
 }
 
+// release frees channel id held by w and wakes the FIFO head waiting on
+// it, if any. Availability only ever arises at release time (a take sets
+// an owner), so waking queue heads here is the complete wake condition.
+func (n *Network) release(id int32, w *worm) {
+	st := &n.chans[id]
+	if st.owner != w {
+		return
+	}
+	st.owner = nil
+	if len(st.queue) > 0 {
+		n.wake(st.queue[0])
+	}
+}
+
+// wake schedules a parked worm to be processed again. If its id is still
+// ahead of the current scan position it runs this very cycle — exactly
+// when the full scan would have polled it — otherwise next cycle.
+func (n *Network) wake(w *worm) {
+	if !w.parked || w.wakePending {
+		return
+	}
+	w.wakePending = true
+	if n.inStep && w.id > n.scanID {
+		n.wokenNow.push(w)
+	} else {
+		n.wokenNext = append(n.wokenNext, w)
+	}
+}
+
 // Step advances the simulation by one cycle. It returns true if any worm
 // made progress.
+//
+// Only movable worms are visited: the active list (worms that advanced
+// last cycle) merged, in ascending id order, with worms woken by channel
+// releases. Parked worms cost nothing until a release reaches them.
 func (n *Network) Step() bool {
 	n.cycle++
 	n.progress = false
-	alive := n.worms[:0]
-	for _, w := range n.worms {
+
+	// Fold last cycle's deferred wakes into the active list, preserving
+	// ascending id order.
+	if len(n.wokenNext) > 0 {
+		sort.Slice(n.wokenNext, func(i, j int) bool { return n.wokenNext[i].id < n.wokenNext[j].id })
+		merged := n.nextBuf[:0]
+		i, j := 0, 0
+		for i < len(n.active) && j < len(n.wokenNext) {
+			if n.active[i].id < n.wokenNext[j].id {
+				merged = append(merged, n.active[i])
+				i++
+			} else {
+				w := n.wokenNext[j]
+				w.wakePending = false
+				w.parked = false
+				merged = append(merged, w)
+				j++
+			}
+		}
+		merged = append(merged, n.active[i:]...)
+		for ; j < len(n.wokenNext); j++ {
+			w := n.wokenNext[j]
+			w.wakePending = false
+			w.parked = false
+			merged = append(merged, w)
+		}
+		n.nextBuf = n.active[:0]
+		n.active = merged
+		n.wokenNext = n.wokenNext[:0]
+	}
+
+	n.inStep = true
+	next := n.nextBuf[:0]
+	i := 0
+	for {
+		var w *worm
+		if len(n.wokenNow) > 0 && (i >= len(n.active) || n.wokenNow[0].id < n.active[i].id) {
+			w = n.wokenNow.pop()
+			w.wakePending = false
+			w.parked = false
+		} else if i < len(n.active) {
+			w = n.active[i]
+			i++
+		} else {
+			break
+		}
+		n.scanID = w.id
 		var live bool
 		if w.kind == pathWorm {
 			live = n.advancePath(w)
 		} else {
 			live = n.advanceTree(w)
 		}
-		if live {
-			alive = append(alive, w)
+		if !live {
+			n.retire(w)
+		} else if !w.parked {
+			next = append(next, w)
 		}
 	}
-	n.worms = alive
+	n.inStep = false
+	n.nextBuf = n.active[:0]
+	n.active = next
 	return n.progress
+}
+
+// retire removes a drained worm from the in-flight accounting; the worms
+// list is compacted lazily once half of it is dead.
+func (n *Network) retire(w *worm) {
+	w.done = true
+	n.inFlight--
+	if dead := len(n.worms) - n.inFlight; dead > 32 && dead > n.inFlight {
+		live := n.worms[:0]
+		for _, v := range n.worms {
+			if !v.done {
+				live = append(live, v)
+			}
+		}
+		for i := len(live); i < len(n.worms); i++ {
+			n.worms[i] = nil
+		}
+		n.worms = live
+	}
 }
 
 // advancePath moves a path worm one cycle; false retires it.
 func (n *Network) advancePath(w *worm) bool {
 	moved := false
 	if w.headIdx < len(w.chans) {
-		c := w.chans[w.headIdx]
-		st := n.state(c)
+		id := w.chans[w.headIdx]
+		st := &n.chans[id]
 		if st.availableTo(w) {
 			st.take(w)
 			w.headIdx++
 			w.progress++
 			moved = true
-		} else if w.queuedAt != w.headIdx {
-			st.enqueue(w)
-			w.queuedAt = w.headIdx
+		} else {
+			if w.queuedAt != w.headIdx {
+				st.enqueue(w)
+				w.queuedAt = w.headIdx
+			}
+			w.parked = true
 		}
 	} else {
 		// Fully routed; the body drains at one flit per cycle.
@@ -350,7 +507,7 @@ func (n *Network) advancePath(w *worm) bool {
 		}
 		// Releases: the tail crosses channel index i at progress i + length.
 		for w.released < len(w.chans) && w.progress >= w.released+w.length {
-			n.state(w.chans[w.released]).release(w)
+			n.release(w.chans[w.released], w)
 			w.released++
 		}
 	}
@@ -369,16 +526,16 @@ func (n *Network) advanceTree(w *worm) bool {
 	if w.headIdx < len(w.levels) {
 		l := &w.levels[w.headIdx]
 		if !l.queued {
-			for _, c := range l.channels {
-				n.state(c).enqueue(w)
+			for _, id := range l.channels {
+				n.chans[id].enqueue(w)
 			}
 			l.queued = true
 		}
-		for i, c := range l.channels {
+		for i, id := range l.channels {
 			if l.taken[i] {
 				continue
 			}
-			if st := n.state(c); st.availableToQueued(w) {
+			if st := &n.chans[id]; st.availableToQueued(w) {
 				st.take(w)
 				l.taken[i] = true
 				l.missing--
@@ -388,6 +545,8 @@ func (n *Network) advanceTree(w *worm) bool {
 			w.headIdx++
 			w.progress++
 			moved = true
+		} else {
+			w.parked = true
 		}
 	} else {
 		// Fully acquired; the replicated body drains one flit per cycle.
@@ -403,8 +562,8 @@ func (n *Network) advanceTree(w *worm) bool {
 			}
 		}
 		for w.released < len(w.levels) && w.progress >= w.released+w.length {
-			for _, c := range w.levels[w.released].channels {
-				n.state(c).release(w)
+			for _, id := range w.levels[w.released].channels {
+				n.release(id, w)
 			}
 			w.released++
 		}
@@ -449,13 +608,17 @@ func (n *Network) DeadlockedWormIDs() []int {
 // Section 2.3.4), a wait-for cycle is a permanent deadlock. It returns
 // the worms on one such cycle, or nil.
 func (n *Network) DetectDeadlock() []*worm {
-	index := make(map[*worm]int, len(n.worms))
-	for i, w := range n.worms {
-		index[w] = i
+	live := make([]*worm, 0, n.inFlight)
+	index := make(map[*worm]int, n.inFlight)
+	for _, w := range n.worms {
+		if !w.done {
+			index[w] = len(live)
+			live = append(live, w)
+		}
 	}
-	adj := make([][]int, len(n.worms))
-	addWait := func(from *worm, c dfr.Channel) {
-		st := n.state(c)
+	adj := make([][]int, len(live))
+	addWait := func(from *worm, id int32) {
+		st := &n.chans[id]
 		i := index[from]
 		if st.owner != nil && st.owner != from {
 			if j, ok := index[st.owner]; ok {
@@ -471,7 +634,7 @@ func (n *Network) DetectDeadlock() []*worm {
 			}
 		}
 	}
-	for _, w := range n.worms {
+	for _, w := range live {
 		if w.kind == pathWorm {
 			if w.headIdx < len(w.chans) {
 				addWait(w, w.chans[w.headIdx])
@@ -482,49 +645,101 @@ func (n *Network) DetectDeadlock() []*worm {
 			continue // draining; never blocks
 		}
 		l := &w.levels[w.headIdx]
-		for i, c := range l.channels {
+		for i, id := range l.channels {
 			if !l.taken[i] {
-				addWait(w, c)
+				addWait(w, id)
 			}
 		}
 	}
-	// DFS cycle detection.
+	// Iterative DFS cycle detection: the explicit frame stack keeps very
+	// large in-flight worm populations from overflowing the goroutine
+	// stack (the recursion depth equals the wait-for chain length).
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make([]int, len(n.worms))
-	parent := make([]int, len(n.worms))
+	color := make([]int, len(live))
+	parent := make([]int, len(live))
 	for i := range parent {
 		parent[i] = -1
 	}
-	var cycle []*worm
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		color[u] = gray
-		for _, v := range adj[u] {
-			switch color[v] {
-			case white:
-				parent[v] = u
-				if dfs(v) {
-					return true
-				}
-			case gray:
-				cycle = []*worm{n.worms[v]}
-				for x := u; x != v; x = parent[x] {
-					cycle = append(cycle, n.worms[x])
-				}
-				return true
-			}
-		}
-		color[u] = black
-		return false
+	type frame struct {
+		u    int
+		next int // index into adj[u] of the next edge to explore
 	}
-	for i := range n.worms {
-		if color[i] == white && dfs(i) {
-			return cycle
+	var stack []frame
+	for start := range live {
+		if color[start] != white {
+			continue
+		}
+		color[start] = gray
+		stack = append(stack[:0], frame{u: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.u]) {
+				v := adj[f.u][f.next]
+				f.next++
+				switch color[v] {
+				case white:
+					parent[v] = f.u
+					color[v] = gray
+					stack = append(stack, frame{u: v})
+				case gray:
+					cycle := []*worm{live[v]}
+					for x := f.u; x != v; x = parent[x] {
+						cycle = append(cycle, live[x])
+					}
+					return cycle
+				}
+			} else {
+				color[f.u] = black
+				stack = stack[:len(stack)-1]
+			}
 		}
 	}
 	return nil
+}
+
+// wormHeap is a binary min-heap of worms keyed by id, used to merge
+// same-cycle wakeups into the ascending-id active scan.
+type wormHeap []*worm
+
+func (h *wormHeap) push(w *worm) {
+	*h = append(*h, w)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p].id <= s[i].id {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *wormHeap) pop() *worm {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = nil
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l].id < s[min].id {
+			min = l
+		}
+		if r < len(s) && s[r].id < s[min].id {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
