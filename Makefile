@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-baseline results
+.PHONY: check fmt vet build test race bench bench-baseline bench-routing-baseline results
 
 ## check: everything CI runs — format, vet, build, race tests, quick benchmarks
 check: fmt vet build race bench
@@ -21,13 +21,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: quick performance smoke — core throughput and figure pipeline
+## bench: quick performance smoke — core throughput, figure pipeline, routing engine
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkWormsimCyclesPerSec|BenchmarkDynamicFigures|BenchmarkSimulator' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkRoutingPlan' -benchtime 100x ./internal/routing
 
 ## bench-baseline: regenerate the committed BENCH_wormsim.json
 bench-baseline:
 	$(GO) run ./cmd/mcfigures -bench -quick -parallel 1 -out .
+
+## bench-routing-baseline: regenerate the committed BENCH_routing.json
+bench-routing-baseline:
+	$(GO) test -run TestWriteRoutingBenchBaseline -update-routing-bench ./internal/routing
 
 ## results: regenerate every table and figure at full fidelity
 results:

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	mcdynamic                 # all four figures at full fidelity
-//	mcdynamic -quick          # reduced sweeps for a fast look
-//	mcdynamic -fig 7.10 -csv  # one figure as CSV
+//	mcdynamic                      # all four figures at full fidelity
+//	mcdynamic -quick               # reduced sweeps for a fast look
+//	mcdynamic -fig 7.10 -csv       # one figure as CSV
+//	mcdynamic -scheme fixed-path   # latency-vs-load for one registry scheme
+//	mcdynamic -list-schemes        # print the routing-engine registry
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"multicastnet/internal/experiments"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/stats"
 )
 
@@ -24,9 +27,22 @@ func main() {
 	seed := flag.Uint64("seed", 1990, "workload seed")
 	maxCycles := flag.Int64("maxcycles", 0, "override cycle budget per point")
 	figID := flag.String("fig", "", "only this figure (7.8, 7.9, 7.10, 7.11)")
+	scheme := flag.String("scheme", "", "simulate one routing-engine scheme by name (see -list-schemes)")
+	listSchemes := flag.Bool("list-schemes", false, "list the routing-engine schemes and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+
+	if *listSchemes {
+		for _, info := range routing.Schemes() {
+			safety := "deadlock-free"
+			if !info.DeadlockFree {
+				safety = "NOT deadlock-free"
+			}
+			fmt.Printf("%-18s %-18s %s\n", info.Name, safety, info.Description)
+		}
+		return
+	}
 
 	opts := experiments.DynamicDefaults()
 	if *quick {
@@ -46,13 +62,7 @@ func main() {
 	}
 	order := []string{"7.8", "7.9", "7.10", "7.11"}
 
-	run := func(id string) {
-		fn, ok := figs[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "mcdynamic: unknown figure %q\n", id)
-			os.Exit(1)
-		}
-		fig := fn(opts)
+	emit := func(fig *stats.Figure) {
 		var err error
 		if *csv {
 			err = fig.WriteCSV(os.Stdout)
@@ -64,6 +74,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mcdynamic:", err)
 			os.Exit(1)
 		}
+	}
+
+	run := func(id string) {
+		fn, ok := figs[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcdynamic: unknown figure %q\n", id)
+			os.Exit(1)
+		}
+		emit(fn(opts))
+	}
+
+	if *scheme != "" {
+		fig, err := experiments.FigSchemeLoad(*scheme, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdynamic:", err)
+			os.Exit(1)
+		}
+		emit(fig)
+		return
 	}
 
 	if *figID != "" {

@@ -6,9 +6,15 @@
 //
 //	mcroute -topo mesh:8x8  -algo dual-path  -src 12 -dests 3,40,63
 //	mcroute -topo cube:6    -algo sorted-mp  -src 9  -dests 1,17,33
+//	mcroute -topo mesh:8x8  -scheme multi-path -src 12 -dests 3,40,63
+//	mcroute -list-schemes
 //
-// Algorithms: sorted-mp, sorted-mc, greedy-st, x-first, divided-greedy,
-// len, dual-path, multi-path, fixed-path, tree (double-channel X-first).
+// Algorithms (-algo): sorted-mp, sorted-mc, greedy-st, x-first,
+// divided-greedy, len, dual-path, multi-path, fixed-path, tree
+// (double-channel X-first).
+//
+// -scheme selects a routing-engine scheme by registry name instead
+// (overriding -algo); -list-schemes prints the registry.
 package main
 
 import (
@@ -20,15 +26,24 @@ import (
 
 	"multicastnet"
 	"multicastnet/internal/render"
+	"multicastnet/internal/routing"
 )
 
 func main() {
 	topoFlag := flag.String("topo", "mesh:8x8", "topology: mesh:WxH or cube:N")
 	algoFlag := flag.String("algo", "dual-path", "routing algorithm")
+	schemeFlag := flag.String("scheme", "", "routing-engine scheme name (overrides -algo; see -list-schemes)")
+	listSchemes := flag.Bool("list-schemes", false, "list the routing-engine schemes and exit")
+	vcFlag := flag.Int("vc", 0, "virtual-channel copies for -scheme virtual-channel (0 = scheme default)")
 	srcFlag := flag.Int("src", 0, "source node id")
 	destsFlag := flag.String("dests", "", "comma-separated destination node ids")
 	draw := flag.Bool("draw", true, "draw the routing pattern (mesh topologies)")
 	flag.Parse()
+
+	if *listSchemes {
+		printSchemes()
+		return
+	}
 
 	sys, err := parseSystem(*topoFlag)
 	if err != nil {
@@ -53,6 +68,34 @@ func main() {
 		if *draw && isMesh {
 			fmt.Print(render.MeshStar(mesh, k, s))
 		}
+	}
+
+	if *schemeFlag != "" {
+		st, err := routing.SharedState(sys.Topology())
+		if err != nil {
+			fatal(err)
+		}
+		r, err := routing.NewWithOptions(*schemeFlag, st, routing.Options{VirtualChannels: *vcFlag})
+		if err != nil {
+			fatal(err)
+		}
+		plan := r.PlanSet(k)
+		for i, p := range plan.Paths {
+			fmt.Printf("path %d:  %v -> dests %v\n", i, p.Nodes, p.Dests)
+		}
+		var chans []multicastnet.Channel
+		for i, tr := range plan.Trees {
+			fmt.Printf("subnetwork %d: %d channels, destinations %v\n", i, tr.Traffic(), tr.Dests)
+			chans = append(chans, tr.Edges...)
+		}
+		fmt.Printf("traffic: %d channels, max distance %d hops\n", plan.Traffic(), plan.MaxDistance())
+		if len(plan.Paths) > 0 {
+			drawStar(multicastnet.Star{Source: k.Source, Paths: plan.Paths})
+		} else {
+			drawPattern(chans)
+		}
+		fmt.Printf("multi-unicast baseline: %d channels\n", sys.MultiUnicastTraffic(k))
+		return
 	}
 
 	switch *algoFlag {
@@ -189,6 +232,16 @@ func printTreePattern(r *multicastnet.STResult) {
 	fmt.Printf("deliveries:\n")
 	for d, depth := range r.Delivered {
 		fmt.Printf("  node %d at %d hops\n", d, depth)
+	}
+}
+
+func printSchemes() {
+	for _, info := range routing.Schemes() {
+		safety := "deadlock-free"
+		if !info.DeadlockFree {
+			safety = "NOT deadlock-free"
+		}
+		fmt.Printf("%-18s %-18s %s\n", info.Name, safety, info.Description)
 	}
 }
 

@@ -3,7 +3,7 @@ package experiments
 import (
 	"time"
 
-	"multicastnet/internal/labeling"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/topology"
 	"multicastnet/internal/wormsim"
 )
@@ -16,11 +16,11 @@ import (
 // BenchmarkWormsimCyclesPerSec so both report the same workload.
 func SimThroughput(seed uint64, maxCycles int64) (cycles int64, secs float64) {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	route := wormsim.RouteFuncOf(mustRouter("dual-path", mustState(m), routing.Options{}))
 	start := time.Now()
 	res, err := wormsim.Run(wormsim.Config{
 		Topology:               m,
-		Route:                  wormsim.DualPathScheme(m, l),
+		Route:                  route,
 		MeanInterarrivalMicros: 300,
 		AvgDests:               10,
 		Seed:                   seed,

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"multicastnet/internal/labeling"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/stats"
 	"multicastnet/internal/switching"
 	"multicastnet/internal/topology"
@@ -112,6 +112,34 @@ type namedScheme struct {
 	route wormsim.RouteFunc
 }
 
+// mustState returns the process-wide shared precomputed routing state of
+// t (one Hamiltonian labeling per topology, shared by every figure).
+func mustState(t topology.Topology) *routing.State {
+	st, err := routing.SharedState(t)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// mustRouter builds the named registry scheme over st.
+func mustRouter(name string, st *routing.State, opts routing.Options) routing.Router {
+	r, err := routing.NewWithOptions(name, st, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// cachedScheme builds the named registry scheme over st, memoizes its
+// plans in the figure's shared cache, and adapts it to the simulator.
+// The cache is concurrency-safe, so the sweep workers of RunSweep hit it
+// in parallel.
+func cachedScheme(name string, st *routing.State, cache *routing.PlanCache,
+	opts routing.Options) wormsim.RouteFunc {
+	return wormsim.RouteFuncOf(routing.Cached(mustRouter(name, st, opts), cache))
+}
+
 // loadSweep builds the points of a latency-vs-load figure: one
 // simulation per (scheme, inter-arrival) pair at avgDests destinations.
 func loadSweep(fig *stats.Figure, topo topology.Topology, schemes []namedScheme,
@@ -154,13 +182,13 @@ func destSweep(fig *stats.Figure, topo topology.Topology, schemes []namedScheme,
 // 20 Mbytes/s channels).
 func Fig78LatencyVsLoadDouble(o DynamicOptions) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	st, cache := mustState(m), routing.NewPlanCache(0)
 	fig := &stats.Figure{ID: "Fig 7.8", Title: "Latency under load, double-channel 8x8 mesh",
 		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
 	schemes := []namedScheme{
-		{"tree", wormsim.DoubleChannelTreeScheme(m)},
-		{"dual-path", wormsim.DualPathDoubleScheme(m, l)},
-		{"multi-path", wormsim.MultiPathMeshDoubleScheme(m, l)},
+		{"tree", cachedScheme("tree", st, cache, routing.Options{})},
+		{"dual-path", cachedScheme("dual-path-double", st, cache, routing.Options{})},
+		{"multi-path", cachedScheme("multi-path-double", st, cache, routing.Options{})},
 	}
 	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
 	return fig
@@ -170,13 +198,13 @@ func Fig78LatencyVsLoadDouble(o DynamicOptions) *stats.Figure {
 // count on the double-channel mesh at 300 us inter-arrival.
 func Fig79LatencyVsDestsDouble(o DynamicOptions) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	st, cache := mustState(m), routing.NewPlanCache(0)
 	fig := &stats.Figure{ID: "Fig 7.9", Title: "Latency vs destinations, double-channel 8x8 mesh",
 		XLabel: "average destinations", YLabel: "latency (us)"}
 	schemes := []namedScheme{
-		{"tree", wormsim.DoubleChannelTreeScheme(m)},
-		{"dual-path", wormsim.DualPathDoubleScheme(m, l)},
-		{"multi-path", wormsim.MultiPathMeshDoubleScheme(m, l)},
+		{"tree", cachedScheme("tree", st, cache, routing.Options{})},
+		{"dual-path", cachedScheme("dual-path-double", st, cache, routing.Options{})},
+		{"multi-path", cachedScheme("multi-path-double", st, cache, routing.Options{})},
 	}
 	RunSweep(destSweep(fig, m, schemes, 300, o), o.Parallel)
 	return fig
@@ -186,12 +214,12 @@ func Fig79LatencyVsDestsDouble(o DynamicOptions) *stats.Figure {
 // single channels across loads (10 average destinations).
 func Fig710LatencyVsLoadSingle(o DynamicOptions) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	st, cache := mustState(m), routing.NewPlanCache(0)
 	fig := &stats.Figure{ID: "Fig 7.10", Title: "Latency under load, single-channel 8x8 mesh",
 		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
 	schemes := []namedScheme{
-		{"dual-path", wormsim.DualPathScheme(m, l)},
-		{"multi-path", wormsim.MultiPathMeshScheme(m, l)},
+		{"dual-path", cachedScheme("dual-path", st, cache, routing.Options{})},
+		{"multi-path", cachedScheme("multi-path", st, cache, routing.Options{})},
 	}
 	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
 	return fig
@@ -203,16 +231,37 @@ func Fig710LatencyVsLoadSingle(o DynamicOptions) *stats.Figure {
 // the dual/fixed convergence appear.
 func Fig711LatencyVsDestsSingle(o DynamicOptions) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	st, cache := mustState(m), routing.NewPlanCache(0)
 	fig := &stats.Figure{ID: "Fig 7.11", Title: "Latency vs destinations, single-channel 8x8 mesh",
 		XLabel: "average destinations", YLabel: "latency (us)"}
 	schemes := []namedScheme{
-		{"dual-path", wormsim.DualPathScheme(m, l)},
-		{"multi-path", wormsim.MultiPathMeshScheme(m, l)},
-		{"fixed-path", wormsim.FixedPathScheme(m, l)},
+		{"dual-path", cachedScheme("dual-path", st, cache, routing.Options{})},
+		{"multi-path", cachedScheme("multi-path", st, cache, routing.Options{})},
+		{"fixed-path", cachedScheme("fixed-path", st, cache, routing.Options{})},
 	}
 	RunSweep(destSweep(fig, m, schemes, 300, o), o.Parallel)
 	return fig
+}
+
+// FigSchemeLoad builds a latency-vs-load figure for one registry scheme
+// on the single-channel 8x8 mesh — the `mcdynamic -scheme <name>` entry
+// point. Any scheme name from routing.Names() is accepted.
+func FigSchemeLoad(name string, o DynamicOptions) (*stats.Figure, error) {
+	if _, err := routing.Lookup(name); err != nil {
+		return nil, err
+	}
+	m := topology.NewMesh2D(8, 8)
+	st, cache := mustState(m), routing.NewPlanCache(0)
+	fig := &stats.Figure{ID: "Scheme " + name,
+		Title:  fmt.Sprintf("Latency under load, %s on an 8x8 mesh", name),
+		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
+	r, err := routing.New(name, st)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []namedScheme{{name, wormsim.RouteFuncOf(routing.Cached(r, cache))}}
+	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
+	return fig, nil
 }
 
 // Fig23Switching reproduces the Fig. 2.3 comparison: contention-free

@@ -2,9 +2,8 @@ package experiments
 
 import (
 	"multicastnet/internal/core"
-	"multicastnet/internal/dfr"
 	"multicastnet/internal/heuristics"
-	"multicastnet/internal/labeling"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/stats"
 	"multicastnet/internal/topology"
 	"multicastnet/internal/wormsim"
@@ -21,14 +20,18 @@ import (
 // (each extra path pays its own startup leg).
 func ExtVirtualChannelsStatic(opts Options) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	st := mustState(m)
 	fig := &stats.Figure{ID: "Ext V", Title: "Virtual-channel partitioning on an 8x8 mesh (Section 8.2)",
 		XLabel: "destinations", YLabel: "additional traffic / max distance"}
 	type variant struct {
-		name string
-		v    int
+		name   string
+		router routing.Router
 	}
-	variants := []variant{{"v=1 (dual-path)", 1}, {"v=2", 2}, {"v=4", 4}}
+	var variants []variant
+	for _, v := range []int{1, 2, 4} {
+		variants = append(variants, variant{vName(v),
+			mustRouter("virtual-channel", st, routing.Options{VirtualChannels: v})})
+	}
 	traffic := make(map[string]*stats.Series)
 	maxDist := make(map[string]*stats.Series)
 	for _, vt := range variants {
@@ -45,9 +48,9 @@ func ExtVirtualChannelsStatic(opts Options) *stats.Figure {
 		for rep := 0; rep < opts.reps(); rep++ {
 			set := randomSet(m, rng, k)
 			for _, vt := range variants {
-				s := dfr.VirtualChannelPath(m, l, set, vt.v)
-				tSum[vt.name] += additionalTraffic(s.Traffic(), k)
-				dSum[vt.name] += float64(s.MaxDistance())
+				p := vt.router.PlanSet(set)
+				tSum[vt.name] += additionalTraffic(p.Traffic(), k)
+				dSum[vt.name] += float64(p.MaxDistance())
 			}
 		}
 		for _, vt := range variants {
@@ -63,12 +66,13 @@ func ExtVirtualChannelsStatic(opts Options) *stats.Figure {
 // physically replicated channels; see EXPERIMENTS.md).
 func ExtVirtualChannelsDynamic(o DynamicOptions) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	st, cache := mustState(m), routing.NewPlanCache(0)
 	fig := &stats.Figure{ID: "Ext V-dyn", Title: "Virtual-channel partitioning under load (8x8 mesh)",
 		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
 	var schemes []namedScheme
 	for _, v := range []int{1, 2, 4} {
-		schemes = append(schemes, namedScheme{vName(v), wormsim.VirtualChannelScheme(m, l, v)})
+		schemes = append(schemes, namedScheme{vName(v),
+			cachedScheme("virtual-channel", st, cache, routing.Options{VirtualChannels: v})})
 	}
 	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
 	return fig
@@ -91,7 +95,8 @@ func vName(v int) string {
 // routing.
 func ExtUnicastMix(o DynamicOptions) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	st, cache := mustState(m), routing.NewPlanCache(0)
+	route := cachedScheme("dual-path", st, cache, routing.Options{})
 	fig := &stats.Figure{ID: "Ext U", Title: "Unicast/multicast interaction, dual-path on an 8x8 mesh",
 		XLabel: "unicast fraction (%)", YLabel: "latency (us)"}
 	uni := fig.AddSeries("unicast latency")
@@ -105,7 +110,7 @@ func ExtUnicastMix(o DynamicOptions) *stats.Figure {
 			Run: func() any {
 				res, err := wormsim.Run(wormsim.Config{
 					Topology:               m,
-					Route:                  wormsim.DualPathScheme(m, l),
+					Route:                  route,
 					MeanInterarrivalMicros: 400,
 					AvgDests:               10,
 					UnicastFraction:        frac,
@@ -148,13 +153,14 @@ func ExtUnicastMix(o DynamicOptions) *stats.Figure {
 // deadlock freedom preserved by the label-monotone window) across loads.
 func ExtAdaptive(o DynamicOptions) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
+	st, cache := mustState(m), routing.NewPlanCache(0)
 	fig := &stats.Figure{ID: "Ext A", Title: "Adaptive vs deterministic dual-path (8x8 mesh)",
 		XLabel: "load (multicasts/ms/node)", YLabel: "latency (us)"}
 	det := fig.AddSeries("deterministic")
 	ada := fig.AddSeries("adaptive")
-	detRoute := wormsim.DualPathScheme(m, l)
-	adaRoute := wormsim.AdaptiveDualPathScheme(m, l)
+	detRoute := cachedScheme("dual-path", st, cache, routing.Options{})
+	adaRoute := wormsim.LiveRouteFuncOf(
+		mustRouter("adaptive-dual-path", st, routing.Options{}).(routing.LiveRouter))
 	var points []SweepPoint
 	for i, inter := range o.loads() {
 		inter := inter
@@ -192,16 +198,15 @@ func ExtAdaptive(o DynamicOptions) *stats.Figure {
 // 4.3 topology) against the multi-unicast baseline.
 func ExtDualPath3D(opts Options) *stats.Figure {
 	m := topology.NewMesh3D(4, 4, 4)
-	l, err := core.LabelingFor(m)
-	if err != nil {
-		panic(err)
-	}
+	st := mustState(m)
+	dual := mustRouter("dual-path", st, routing.Options{})
+	fixed := mustRouter("fixed-path", st, routing.Options{})
 	fig := &stats.Figure{ID: "Ext 3D", Title: "Dual-path routing on a 4x4x4 mesh",
 		XLabel: "destinations", YLabel: "additional traffic"}
 	staticSweep(fig, m, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
 		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
-		"dual-path":  func(k core.MulticastSet) int { return dfr.DualPath(m, l, k).Traffic() },
-		"fixed-path": func(k core.MulticastSet) int { return dfr.FixedPath(m, l, k).Traffic() },
+		"dual-path":  func(k core.MulticastSet) int { return dual.PlanSet(k).Traffic() },
+		"fixed-path": func(k core.MulticastSet) int { return fixed.PlanSet(k).Traffic() },
 	}, []string{"one-to-one", "dual-path", "fixed-path"})
 	return fig
 }

@@ -8,9 +8,9 @@ package experiments
 
 import (
 	"multicastnet/internal/core"
-	"multicastnet/internal/dfr"
 	"multicastnet/internal/heuristics"
 	"multicastnet/internal/labeling"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/stats"
 	"multicastnet/internal/topology"
 )
@@ -166,14 +166,11 @@ func Fig75MTMesh(opts Options) *stats.Figure {
 // deadlock-free path schemes on a 6-cube.
 func Fig76PathTrafficCube(opts Options) *stats.Figure {
 	h := topology.NewHypercube(6)
-	l := labeling.NewHypercubeGray(h)
 	fig := &stats.Figure{ID: "Fig 7.6", Title: "Multicast methods on a 6-cube",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	staticSweep(fig, h, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
-		"dual-path":  func(k core.MulticastSet) int { return dfr.DualPath(h, l, k).Traffic() },
-		"multi-path": func(k core.MulticastSet) int { return dfr.MultiPathCube(h, l, k).Traffic() },
-		"fixed-path": func(k core.MulticastSet) int { return dfr.FixedPath(h, l, k).Traffic() },
-	}, []string{"dual-path", "multi-path", "fixed-path"})
+	staticSweep(fig, h, KValuesSmall, opts, registryTraffic(mustState(h),
+		"dual-path", "multi-path", "fixed-path"),
+		[]string{"dual-path", "multi-path", "fixed-path"})
 	return fig
 }
 
@@ -181,15 +178,23 @@ func Fig76PathTrafficCube(opts Options) *stats.Figure {
 // path schemes on an 8x8 mesh.
 func Fig77PathTrafficMesh(opts Options) *stats.Figure {
 	m := topology.NewMesh2D(8, 8)
-	l := labeling.NewMeshBoustrophedon(m)
 	fig := &stats.Figure{ID: "Fig 7.7", Title: "Multicast methods on an 8x8 mesh",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	staticSweep(fig, m, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
-		"dual-path":  func(k core.MulticastSet) int { return dfr.DualPath(m, l, k).Traffic() },
-		"multi-path": func(k core.MulticastSet) int { return dfr.MultiPathMesh(m, l, k).Traffic() },
-		"fixed-path": func(k core.MulticastSet) int { return dfr.FixedPath(m, l, k).Traffic() },
-	}, []string{"dual-path", "multi-path", "fixed-path"})
+	staticSweep(fig, m, KValuesSmall, opts, registryTraffic(mustState(m),
+		"dual-path", "multi-path", "fixed-path"),
+		[]string{"dual-path", "multi-path", "fixed-path"})
 	return fig
+}
+
+// registryTraffic builds one traffic-counting closure per registry
+// scheme name, all sharing one precomputed topology state.
+func registryTraffic(st *routing.State, names ...string) map[string]func(core.MulticastSet) int {
+	out := make(map[string]func(core.MulticastSet) int, len(names))
+	for _, name := range names {
+		r := mustRouter(name, st, routing.Options{})
+		out[name] = func(k core.MulticastSet) int { return r.PlanSet(k).Traffic() }
+	}
+	return out
 }
 
 // AblationLabeling compares the average dual-path traffic on a 16x16 mesh
@@ -216,8 +221,8 @@ func AblationLabeling(opts Options) *stats.Figure {
 	algos := make(map[string]func(core.MulticastSet) int, len(labelings))
 	var order []string
 	for _, entry := range labelings {
-		l := entry.l
-		algos[entry.name] = func(k core.MulticastSet) int { return dfr.DualPath(m, l, k).Traffic() }
+		r := mustRouter("dual-path", routing.NewStateWithLabeling(m, entry.l), routing.Options{})
+		algos[entry.name] = func(k core.MulticastSet) int { return r.PlanSet(k).Traffic() }
 		order = append(order, entry.name)
 	}
 	staticSweep(fig, m, KValuesSmall, opts, algos, order)

@@ -18,15 +18,18 @@ import (
 	"sort"
 
 	"multicastnet/internal/core"
-	"multicastnet/internal/dfr"
-	"multicastnet/internal/labeling"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/topology"
 )
 
 // Scheme selects the deadlock-free routing used by the service.
+//
+// Deprecated: Scheme is a legacy enum kept as an alias layer over the
+// routing registry; new code should set Config.SchemeName to a
+// routing.Names() entry instead.
 type Scheme int
 
-// Available routing schemes.
+// Available routing schemes (deprecated aliases for registry names).
 const (
 	// DualPathScheme routes every multicast as at most two paths
 	// (Section 6.2.2) — the dissertation's recommended default.
@@ -38,24 +41,49 @@ const (
 	FixedPathScheme
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. For the defined constants it returns
+// the scheme's routing-registry name, so String() round-trips through
+// routing.Lookup.
 func (s Scheme) String() string {
+	if name, err := s.Name(); err == nil {
+		return name
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Name maps the deprecated enum value to its routing-registry name.
+func (s Scheme) Name() (string, error) {
 	switch s {
 	case DualPathScheme:
-		return "dual-path"
+		return "dual-path", nil
 	case MultiPathScheme:
-		return "multi-path"
+		return "multi-path", nil
 	case FixedPathScheme:
-		return "fixed-path"
+		return "fixed-path", nil
 	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
+		return "", fmt.Errorf("mcastsvc: unknown scheme Scheme(%d)", int(s))
 	}
 }
+
+// planCacheSize bounds the per-service plan cache. Group communication
+// is highly repetitive (the same barrier or allreduce routes recur every
+// iteration), so even a small cache removes nearly all route derivation
+// from the steady state.
+const planCacheSize = 4096
 
 // Config parameterizes a Service.
 type Config struct {
 	Topology topology.Topology
-	Scheme   Scheme
+	// Scheme is the legacy enum selector, honored when SchemeName is
+	// empty.
+	//
+	// Deprecated: set SchemeName to a routing registry name instead.
+	Scheme Scheme
+	// SchemeName selects the routing scheme by registry name (see
+	// routing.Names()). It must name a deadlock-free scheme. Empty falls
+	// back to Scheme, whose zero value is dual-path — the dissertation's
+	// recommended default.
+	SchemeName string
 	// MessageBytes is the default payload size; BandwidthMBps and
 	// FlitBytes fix the time base (defaults: 128 bytes, 20 MB/s, 1 byte).
 	MessageBytes  int
@@ -63,13 +91,24 @@ type Config struct {
 	FlitBytes     int
 }
 
-// Service provides multicast primitives over one machine.
-type Service struct {
-	cfg   Config
-	label labeling.Labeling
+// schemeName resolves the configured scheme to a registry name.
+func (c Config) schemeName() (string, error) {
+	if c.SchemeName != "" {
+		return c.SchemeName, nil
+	}
+	return c.Scheme.Name()
 }
 
-// New validates the configuration and returns a Service.
+// Service provides multicast primitives over one machine.
+type Service struct {
+	cfg    Config
+	router routing.Router
+}
+
+// New validates the configuration and returns a Service. The routing
+// scheme is resolved through the routing registry over shared
+// precomputed topology state, and plans are memoized in a bounded
+// concurrency-safe cache.
 func New(cfg Config) (*Service, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("mcastsvc: config needs a topology")
@@ -83,23 +122,30 @@ func New(cfg Config) (*Service, error) {
 	if cfg.FlitBytes <= 0 {
 		cfg.FlitBytes = 1
 	}
-	l, err := core.LabelingFor(cfg.Topology)
+	name, err := cfg.schemeName()
 	if err != nil {
 		return nil, err
 	}
-	switch cfg.Scheme {
-	case DualPathScheme, FixedPathScheme:
-	case MultiPathScheme:
-		switch cfg.Topology.(type) {
-		case *topology.Mesh2D, *topology.Hypercube:
-		default:
-			return nil, fmt.Errorf("mcastsvc: multi-path unsupported on %s", cfg.Topology.Name())
-		}
-	default:
-		return nil, fmt.Errorf("mcastsvc: unknown scheme %v", cfg.Scheme)
+	info, err := routing.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("mcastsvc: %w", err)
 	}
-	return &Service{cfg: cfg, label: l}, nil
+	if !info.DeadlockFree {
+		return nil, fmt.Errorf("mcastsvc: scheme %q is not deadlock-free", name)
+	}
+	st, err := routing.SharedState(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	r, err := routing.New(name, st)
+	if err != nil {
+		return nil, fmt.Errorf("mcastsvc: %w", err)
+	}
+	return &Service{cfg: cfg, router: routing.Cached(r, routing.NewPlanCache(planCacheSize))}, nil
 }
+
+// SchemeName returns the registry name of the service's routing scheme.
+func (s *Service) SchemeName() string { return s.router.Scheme() }
 
 // Group is a process group; one process per node (Section 1.1's
 // assumption that each process resides in a separate node).
@@ -173,22 +219,9 @@ func (s *Service) wormLatency(hops, bytes int) float64 {
 	return float64(hops+flits-1) * s.flitMicros()
 }
 
-// route applies the configured scheme.
-func (s *Service) route(k core.MulticastSet) dfr.Star {
-	switch s.cfg.Scheme {
-	case MultiPathScheme:
-		switch tt := s.cfg.Topology.(type) {
-		case *topology.Mesh2D:
-			return dfr.MultiPathMesh(tt, s.label, k)
-		case *topology.Hypercube:
-			return dfr.MultiPathCube(tt, s.label, k)
-		}
-		panic("mcastsvc: unreachable")
-	case FixedPathScheme:
-		return dfr.FixedPath(s.cfg.Topology, s.label, k)
-	default:
-		return dfr.DualPath(s.cfg.Topology, s.label, k)
-	}
+// route plans k through the service's (cached) router.
+func (s *Service) route(k core.MulticastSet) routing.Plan {
+	return s.router.PlanSet(k)
 }
 
 // Multicast routes one source-to-group message and returns its cost. The
@@ -208,12 +241,12 @@ func (s *Service) Multicast(source topology.NodeID, g Group, bytes int) (Cost, e
 	if err != nil {
 		return Cost{}, err
 	}
-	star := s.route(k)
+	plan := s.route(k)
 	return Cost{
-		TrafficChannels: star.Traffic(),
-		MaxDistance:     star.MaxDistance(),
-		LatencyMicros:   s.wormLatency(star.MaxDistance(), bytes),
-		Messages:        len(star.Paths),
+		TrafficChannels: plan.Traffic(),
+		MaxDistance:     plan.MaxDistance(),
+		LatencyMicros:   s.wormLatency(plan.MaxDistance(), bytes),
+		Messages:        plan.Messages(),
 	}, nil
 }
 

@@ -1,0 +1,106 @@
+package mcastsvc
+
+import (
+	"strings"
+	"testing"
+
+	"multicastnet/internal/routing"
+	"multicastnet/internal/topology"
+)
+
+// TestSchemeNameRoundTrip pins the deprecated-alias contract: every
+// legacy Scheme constant's String() is a registry name that resolves
+// through routing.Lookup, and a Service built from either selector
+// reports the same name.
+func TestSchemeNameRoundTrip(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	for _, s := range []Scheme{DualPathScheme, MultiPathScheme, FixedPathScheme} {
+		name := s.String()
+		if _, err := routing.Lookup(name); err != nil {
+			t.Errorf("%v.String() = %q does not resolve in the registry: %v", s, name, err)
+		}
+		viaEnum, err := New(Config{Topology: m, Scheme: s})
+		if err != nil {
+			t.Fatalf("New(Scheme: %v): %v", s, err)
+		}
+		viaName, err := New(Config{Topology: m, SchemeName: name})
+		if err != nil {
+			t.Fatalf("New(SchemeName: %q): %v", name, err)
+		}
+		if viaEnum.SchemeName() != name || viaName.SchemeName() != name {
+			t.Errorf("SchemeName() = %q / %q, want %q",
+				viaEnum.SchemeName(), viaName.SchemeName(), name)
+		}
+	}
+}
+
+func TestUnknownSchemeEnumErrors(t *testing.T) {
+	if _, err := Scheme(9).Name(); err == nil {
+		t.Error("Scheme(9).Name() succeeded")
+	}
+	if got := Scheme(9).String(); got != "Scheme(9)" {
+		t.Errorf("Scheme(9).String() = %q", got)
+	}
+	if _, err := New(Config{Topology: topology.NewMesh2D(4, 4), Scheme: Scheme(9)}); err == nil {
+		t.Error("New accepted an undefined enum value")
+	}
+}
+
+// TestUnknownSchemeNameListsValidNames checks the helpful-error
+// satellite: a typo'd SchemeName surfaces the registry's valid names.
+func TestUnknownSchemeNameListsValidNames(t *testing.T) {
+	_, err := New(Config{Topology: topology.NewMesh2D(4, 4), SchemeName: "dual-psth"})
+	if err == nil {
+		t.Fatal("New accepted an unknown scheme name")
+	}
+	for _, name := range routing.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid name %q", err, name)
+		}
+	}
+}
+
+// TestSchemeNamePrecedence: a non-empty SchemeName wins over the enum.
+func TestSchemeNamePrecedence(t *testing.T) {
+	svc, err := New(Config{
+		Topology:   topology.NewMesh2D(4, 4),
+		Scheme:     MultiPathScheme,
+		SchemeName: "fixed-path",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.SchemeName() != "fixed-path" {
+		t.Errorf("SchemeName() = %q, want fixed-path", svc.SchemeName())
+	}
+}
+
+// TestServiceRefusesDeadlockProneScheme: the service only accepts
+// deadlock-free registry schemes.
+func TestServiceRefusesDeadlockProneScheme(t *testing.T) {
+	_, err := New(Config{Topology: topology.NewMesh2D(4, 4), SchemeName: "naive-tree"})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("New(naive-tree) = %v, want a deadlock-freedom refusal", err)
+	}
+}
+
+// TestServiceAcceptsAnyDeadlockFreeRegistryScheme: schemes beyond the
+// legacy enum (e.g. the tree scheme) are reachable via SchemeName.
+func TestServiceAcceptsAnyDeadlockFreeRegistryScheme(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	svc, err := New(Config{Topology: m, SchemeName: "tree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := svc.NewGroup([]topology.NodeID{1, 5, 9, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := svc.Multicast(1, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.TrafficChannels <= 0 {
+		t.Errorf("tree multicast traffic = %d", cost.TrafficChannels)
+	}
+}

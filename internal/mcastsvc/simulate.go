@@ -42,8 +42,8 @@ func (s *Service) runPhases(phases []phase, bytes int) (Measured, error) {
 	for _, ph := range phases {
 		start := net.Cycle()
 		for _, k := range ph.sets {
-			star := s.route(k)
-			net.InjectMulticast(star.Paths, nil, flits)
+			plan := s.route(k)
+			net.InjectMulticast(plan.Paths, plan.Trees, flits)
 		}
 		for net.ActiveWorms() > 0 {
 			if net.Step() {

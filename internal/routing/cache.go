@@ -1,0 +1,183 @@
+package routing
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/topology"
+)
+
+// cacheShards is the shard count of every PlanCache: a power of two so
+// shard selection is a mask, large enough that parallel sweeps rarely
+// contend on one mutex.
+const cacheShards = 16
+
+// PlanCache is a bounded, sharded, concurrency-safe cache of routed
+// plans. Keys combine the router identity with the canonicalized
+// multicast set (source plus sorted destinations), so routers for
+// different schemes — or the same scheme with different options — can
+// share one cache without collisions. Each shard evicts in FIFO order
+// once full, bounding memory under adversarial key streams.
+//
+// Cached plans are shared: callers must treat them as immutable.
+type PlanCache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	plans map[string]Plan
+	fifo  []string // insertion order, for eviction
+}
+
+// NewPlanCache returns a cache holding at most capacity plans (rounded
+// up to a multiple of the shard count). capacity <= 0 selects a default
+// of 4096.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	c := &PlanCache{perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].plans = make(map[string]Plan)
+	}
+	return c
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.plans)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *PlanCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// shardFor selects a shard by FNV-1a over the key.
+func (c *PlanCache) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+func (c *PlanCache) get(key string) (Plan, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	p, ok := s.plans[key]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return p, ok
+}
+
+func (c *PlanCache) put(key string, p Plan) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.plans[key]; dup {
+		// A concurrent planner beat us to it; the plans are identical
+		// (deterministic routing), keep the incumbent.
+		return
+	}
+	if len(s.plans) >= c.perShard {
+		oldest := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		delete(s.plans, oldest)
+	}
+	s.plans[key] = p
+	s.fifo = append(s.fifo, key)
+}
+
+// planKey canonicalizes a multicast set into a cache key: the router
+// identity, the source, and the destinations in sorted order, all
+// varint-encoded. Destination order never changes a scheme's routes
+// (every scheme re-sorts by label), so sets that differ only in listing
+// order share one entry.
+func planKey(id string, k core.MulticastSet) string {
+	buf := make([]byte, 0, len(id)+1+(len(k.Dests)+1)*3)
+	buf = append(buf, id...)
+	buf = append(buf, 0)
+	buf = binary.AppendUvarint(buf, uint64(k.Source))
+	dests := make([]topology.NodeID, len(k.Dests))
+	copy(dests, k.Dests)
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	for _, d := range dests {
+		buf = binary.AppendUvarint(buf, uint64(d))
+	}
+	return string(buf)
+}
+
+// cachedRouter memoizes PlanSet through a PlanCache.
+type cachedRouter struct {
+	Router
+	cache *PlanCache
+}
+
+// PlanSet implements Router, consulting the cache first.
+func (r *cachedRouter) PlanSet(k core.MulticastSet) Plan {
+	key := planKey(r.Router.ID(), k)
+	if p, ok := r.cache.get(key); ok {
+		return p
+	}
+	p := r.Router.PlanSet(k)
+	r.cache.put(key, p)
+	return p
+}
+
+// Plan implements Router through the cached PlanSet.
+func (r *cachedRouter) Plan(src topology.NodeID, dests []topology.NodeID) (Plan, error) {
+	k, err := core.NewMulticastSet(r.State().Topology(), src, dests)
+	if err != nil {
+		return Plan{}, err
+	}
+	return r.PlanSet(k), nil
+}
+
+// cachedLiveRouter is cachedRouter for adaptive schemes: deterministic
+// plans are cached, live (oracle-dependent) plans never are.
+type cachedLiveRouter struct {
+	cachedRouter
+	live LiveRouter
+}
+
+// PlanLive implements LiveRouter, bypassing the cache.
+func (r *cachedLiveRouter) PlanLive(k core.MulticastSet, oracle dfr.ChannelOracle) Plan {
+	return r.live.PlanLive(k, oracle)
+}
+
+// Cached wraps a router with a plan cache. Multiple routers — of any
+// scheme — may share one cache; keys are namespaced by router identity.
+// Live (adaptive) plans are never cached: wrapping a LiveRouter returns
+// a LiveRouter whose PlanLive passes straight through.
+func Cached(r Router, c *PlanCache) Router {
+	if lr, ok := r.(LiveRouter); ok {
+		return &cachedLiveRouter{cachedRouter: cachedRouter{Router: r, cache: c}, live: lr}
+	}
+	return &cachedRouter{Router: r, cache: c}
+}

@@ -1,0 +1,181 @@
+package routing
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+func testRouter(t *testing.T, name string) (Router, *State, topology.Topology) {
+	t.Helper()
+	m := topology.NewMesh2D(6, 6)
+	st, err := NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(name, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, st, m
+}
+
+func TestCacheHitsAndEquality(t *testing.T) {
+	r, _, m := testRouter(t, "dual-path")
+	c := NewPlanCache(64)
+	cr := Cached(r, c)
+	k := core.MustMulticastSet(m, 3, []topology.NodeID{10, 20, 30})
+	first := cr.PlanSet(k)
+	second := cr.PlanSet(k)
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("Stats() = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached plan differs from computed plan")
+	}
+	if !reflect.DeepEqual(first, r.PlanSet(k)) {
+		t.Fatal("cached plan differs from the uncached router's plan")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheCanonicalizesDestOrder(t *testing.T) {
+	r, _, m := testRouter(t, "dual-path")
+	c := NewPlanCache(64)
+	cr := Cached(r, c)
+	a := core.MustMulticastSet(m, 3, []topology.NodeID{10, 20, 30})
+	b := core.MustMulticastSet(m, 3, []topology.NodeID{30, 10, 20})
+	cr.PlanSet(a)
+	cr.PlanSet(b)
+	if hits, _ := c.Stats(); hits != 1 {
+		t.Fatalf("reordered destinations missed the cache (hits = %d)", hits)
+	}
+}
+
+func TestCacheNamespacesByRouterID(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	st, err := NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewPlanCache(64)
+	dual, _ := New("dual-path", st)
+	fixed, _ := New("fixed-path", st)
+	k := core.MustMulticastSet(m, 3, []topology.NodeID{10, 20, 30})
+	p1 := Cached(dual, c).PlanSet(k)
+	p2 := Cached(fixed, c).PlanSet(k)
+	if reflect.DeepEqual(p1, p2) {
+		t.Fatal("dual-path and fixed-path returned identical plans — ID namespacing untestable")
+	}
+	if _, misses := c.Stats(); misses != 2 {
+		t.Fatalf("expected 2 misses for 2 schemes, got %d", misses)
+	}
+	if !reflect.DeepEqual(Cached(fixed, c).PlanSet(k), p2) {
+		t.Fatal("fixed-path plan corrupted by dual-path entry")
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	r, _, m := testRouter(t, "dual-path")
+	capacity := 32
+	c := NewPlanCache(capacity)
+	cr := Cached(r, c)
+	rng := stats.NewRand(11)
+	for i := 0; i < 500; i++ {
+		cr.PlanSet(randomSet(m, rng, 1+rng.Intn(8)))
+	}
+	if c.Len() > capacity {
+		t.Fatalf("cache grew to %d entries, capacity %d", c.Len(), capacity)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewPlanCache(0)
+	if c.perShard*cacheShards < 4096 {
+		t.Fatalf("default capacity %d < 4096", c.perShard*cacheShards)
+	}
+}
+
+func TestCachedPlanValidatesSet(t *testing.T) {
+	r, _, _ := testRouter(t, "dual-path")
+	cr := Cached(r, NewPlanCache(8))
+	if _, err := cr.Plan(0, []topology.NodeID{0}); err == nil {
+		t.Error("cached Plan accepted the source as a destination")
+	}
+	if _, err := cr.Plan(0, []topology.NodeID{4, 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCachedLiveRouterBypassesCache(t *testing.T) {
+	r, _, m := testRouter(t, "adaptive-dual-path")
+	c := NewPlanCache(64)
+	cr := Cached(r, c)
+	lr, ok := cr.(LiveRouter)
+	if !ok {
+		t.Fatal("Cached dropped the LiveRouter interface")
+	}
+	k := core.MustMulticastSet(m, 3, []topology.NodeID{10, 20, 30})
+	lr.PlanLive(k, dfr.IdleOracle())
+	lr.PlanLive(k, dfr.IdleOracle())
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("PlanLive touched the cache: (%d hits, %d misses)", hits, misses)
+	}
+	cr.PlanSet(k)
+	cr.PlanSet(k)
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("deterministic PlanSet not cached: (%d hits, %d misses)", hits, misses)
+	}
+}
+
+func TestCachedRouterNotLiveForDeterministicSchemes(t *testing.T) {
+	r, _, _ := testRouter(t, "dual-path")
+	if _, ok := Cached(r, NewPlanCache(8)).(LiveRouter); ok {
+		t.Fatal("Cached invented a LiveRouter from a deterministic scheme")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	r, _, m := testRouter(t, "dual-path")
+	c := NewPlanCache(128)
+	cr := Cached(r, c)
+	sets := make([]core.MulticastSet, 64)
+	rng := stats.NewRand(23)
+	for i := range sets {
+		sets[i] = randomSet(m, rng, 1+rng.Intn(8))
+	}
+	want := make([]Plan, len(sets))
+	for i, k := range sets {
+		want[i] = r.PlanSet(k)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				idx := (g*31 + i) % len(sets)
+				got := cr.PlanSet(sets[idx])
+				if !reflect.DeepEqual(got, want[idx]) {
+					t.Errorf("concurrent plan %d diverged", idx)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits == 0 {
+		t.Error("concurrent workload produced no cache hits")
+	}
+	if hits+misses != 8*200 {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, 8*200)
+	}
+}

@@ -1,0 +1,101 @@
+package routing
+
+import (
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/topology"
+)
+
+// fuzzSchemes are the path-based schemes checked for label monotonicity
+// (the Assertion 2 deadlock-freedom argument: every path stays inside
+// either the high- or the low-channel subnetwork).
+var fuzzSchemes = []string{
+	"dual-path", "dual-path-double", "multi-path", "multi-path-double",
+	"fixed-path", "adaptive-dual-path", "virtual-channel",
+}
+
+// fuzzTreeSchemes produce tree routes; they are checked for coverage and
+// channel validity only.
+var fuzzTreeSchemes = []string{"tree", "naive-tree"}
+
+// checkMonotone asserts that a path's labels are strictly monotone — the
+// property that keeps the high/low channel subnetworks acyclic.
+func checkMonotone(t *testing.T, st *State, name string, p dfr.PathRoute) {
+	t.Helper()
+	if len(p.Nodes) < 2 {
+		return
+	}
+	up := st.Label(p.Nodes[1]) > st.Label(p.Nodes[0])
+	for i := 1; i < len(p.Nodes); i++ {
+		prev, cur := st.Label(p.Nodes[i-1]), st.Label(p.Nodes[i])
+		if up && cur <= prev {
+			t.Fatalf("%s: path %v not label-increasing at hop %d (%d -> %d)",
+				name, p.Nodes, i, prev, cur)
+		}
+		if !up && cur >= prev {
+			t.Fatalf("%s: path %v not label-decreasing at hop %d (%d -> %d)",
+				name, p.Nodes, i, prev, cur)
+		}
+	}
+}
+
+// FuzzPlan drives every registry scheme over fuzzer-chosen mesh sizes and
+// destination sets and asserts the routing invariants: the plan covers
+// each destination exactly once, uses only real channels, and (for the
+// path schemes) every path is label-monotone.
+func FuzzPlan(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint16(0), []byte{5, 10, 15})
+	f.Add(uint8(8), uint8(8), uint16(27), []byte{0, 1, 2, 3, 60, 61, 62, 63})
+	f.Add(uint8(2), uint8(3), uint16(5), []byte{0})
+	f.Add(uint8(7), uint8(2), uint16(13), []byte{1, 1, 1, 12})
+	f.Fuzz(func(t *testing.T, w, h uint8, src uint16, destBytes []byte) {
+		width := 2 + int(w)%7  // 2..8
+		height := 2 + int(h)%7 // 2..8
+		m := topology.NewMesh2D(width, height)
+		source := topology.NodeID(int(src) % m.Nodes())
+		seen := map[topology.NodeID]bool{source: true}
+		var dests []topology.NodeID
+		for _, b := range destBytes {
+			d := topology.NodeID(int(b) % m.Nodes())
+			if !seen[d] {
+				seen[d] = true
+				dests = append(dests, d)
+			}
+		}
+		if len(dests) == 0 {
+			t.Skip("no destinations")
+		}
+		k, err := core.NewMulticastSet(m, source, dests)
+		if err != nil {
+			t.Fatalf("set construction: %v", err)
+		}
+		st, err := NewState(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range fuzzSchemes {
+			r, err := New(name, st)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			plan := r.PlanSet(k)
+			if err := plan.Validate(m, k); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, p := range plan.Paths {
+				checkMonotone(t, st, name, p)
+			}
+		}
+		for _, name := range fuzzTreeSchemes {
+			r, err := New(name, st)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := r.PlanSet(k).Validate(m, k); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	})
+}

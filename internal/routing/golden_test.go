@@ -1,0 +1,139 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// The golden-equivalence tests pin the refactor's core promise: every
+// registry scheme produces byte-identical routes to the legacy direct
+// calls into internal/dfr it replaced.
+
+// legacyDouble is the pre-refactor double-channel class assignment
+// (wormsim's classify), restated here so the registry's classifyDouble
+// is checked against an independent copy.
+func legacyDouble(s dfr.Star) []dfr.PathRoute {
+	out := make([]dfr.PathRoute, len(s.Paths))
+	for i, p := range s.Paths {
+		out[i] = p
+		out[i].Class = (int(s.Source) + i) % 2
+	}
+	return out
+}
+
+func goldenCompare(t *testing.T, topo topology.Topology, name string, opts Options,
+	legacy func(core.MulticastSet) Plan) {
+	t.Helper()
+	st, err := NewState(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewWithOptions(name, st, opts)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", name, topo.Name(), err)
+	}
+	rng := stats.NewRand(1990)
+	for rep := 0; rep < 50; rep++ {
+		k := randomSet(topo, rng, 1+rng.Intn(12))
+		got := r.PlanSet(k)
+		want := legacy(k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s on %s diverges from legacy for src %d dests %v:\n got %+v\nwant %+v",
+				name, topo.Name(), k.Source, k.Dests, got, want)
+		}
+	}
+}
+
+func TestGoldenMesh(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	st, err := NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := st.Labeling() // identical labels to labeling.NewMeshBoustrophedon(m)
+	goldenCompare(t, m, "dual-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.DualPath(m, l, k).Paths}
+	})
+	goldenCompare(t, m, "dual-path-double", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: legacyDouble(dfr.DualPath(m, l, k))}
+	})
+	goldenCompare(t, m, "multi-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.MultiPathMesh(m, l, k).Paths}
+	})
+	goldenCompare(t, m, "multi-path-double", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: legacyDouble(dfr.MultiPathMesh(m, l, k))}
+	})
+	goldenCompare(t, m, "fixed-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.FixedPath(m, l, k).Paths}
+	})
+	goldenCompare(t, m, "tree", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Trees: dfr.DoubleChannelXFirst(m, k)}
+	})
+	goldenCompare(t, m, "naive-tree", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Trees: dfr.XFirstTrees(m, k)}
+	})
+	goldenCompare(t, m, "adaptive-dual-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.AdaptiveDualPath(m, l, k, dfr.IdleOracle()).Paths}
+	})
+	for _, v := range []int{1, 2, 4} {
+		v := v
+		goldenCompare(t, m, "virtual-channel", Options{VirtualChannels: v},
+			func(k core.MulticastSet) Plan {
+				return Plan{Paths: dfr.VirtualChannelPath(m, l, k, v).Paths}
+			})
+	}
+}
+
+func TestGoldenCube(t *testing.T) {
+	h := topology.NewHypercube(6)
+	st, err := NewState(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := st.Labeling()
+	goldenCompare(t, h, "dual-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.DualPath(h, l, k).Paths}
+	})
+	goldenCompare(t, h, "multi-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.MultiPathCube(h, l, k).Paths}
+	})
+	goldenCompare(t, h, "fixed-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.FixedPath(h, l, k).Paths}
+	})
+	goldenCompare(t, h, "virtual-channel", Options{VirtualChannels: 2},
+		func(k core.MulticastSet) Plan {
+			return Plan{Paths: dfr.VirtualChannelPath(h, l, k, 2).Paths}
+		})
+}
+
+func TestGoldenMesh3D(t *testing.T) {
+	m := topology.NewMesh3D(4, 4, 4)
+	st, err := NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := st.Labeling()
+	goldenCompare(t, m, "dual-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.DualPath(m, l, k).Paths}
+	})
+	goldenCompare(t, m, "fixed-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.FixedPath(m, l, k).Paths}
+	})
+}
+
+// TestGoldenAgainstFreshLabelings re-runs a spot check with the original
+// labeling constructors (not the table-flattened ones), proving the
+// flattening step itself changes nothing.
+func TestGoldenAgainstFreshLabelings(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	l := labeling.NewMeshBoustrophedon(m)
+	goldenCompare(t, m, "dual-path", Options{}, func(k core.MulticastSet) Plan {
+		return Plan{Paths: dfr.DualPath(m, l, k).Paths}
+	})
+}

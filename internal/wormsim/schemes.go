@@ -4,105 +4,104 @@ import (
 	"multicastnet/internal/core"
 	"multicastnet/internal/dfr"
 	"multicastnet/internal/labeling"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/topology"
 )
 
-// The RouteFuncs below adapt the Chapter 6 routing schemes to the
-// simulator. The *Double variants run path-based schemes on the
-// double-channel network of Fig. 7.8's comparison: high-channel paths use
-// channel copy 0 and low-channel paths copy 1, so the path schemes get
-// the same aggregate bandwidth as the four-subnetwork tree scheme.
+// This file adapts the unified routing engine (internal/routing) to the
+// simulator: a routing.Router plans each multicast and the adapter
+// injects the plan. The named constructors below are retained for
+// callers that start from a (topology, labeling) pair; new code should
+// build routers through the routing registry and use RouteFuncOf.
 
-// classify assigns double-channel classes to the paths of a star. High-
-// and low-channel paths already use disjoint channel directions, so the
-// second copy is spent where it helps: traffic is spread across the two
-// copies by source parity, halving contention per copy. Every copy
-// network carries only label-monotone paths, so each remains acyclic and
-// the assignment preserves deadlock freedom.
-func classify(l labeling.Labeling, s dfr.Star) []dfr.PathRoute {
-	out := make([]dfr.PathRoute, len(s.Paths))
-	for i, p := range s.Paths {
-		out[i] = p
-		out[i].Class = (int(s.Source) + i) % 2
+// RouteFuncOf adapts a routing.Router to the simulator's RouteFunc.
+// Wrap the router with routing.Cached to share plans across injections.
+func RouteFuncOf(r routing.Router) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		p := r.PlanSet(k)
+		return Injection{Paths: p.Paths, Trees: p.Trees}
 	}
-	return out
+}
+
+// LiveRouteFuncOf adapts a routing.LiveRouter to the simulator's
+// congestion-aware LiveRouteFunc.
+func LiveRouteFuncOf(r routing.LiveRouter) LiveRouteFunc {
+	return func(k core.MulticastSet, oracle dfr.ChannelOracle) Injection {
+		p := r.PlanLive(k, oracle)
+		return Injection{Paths: p.Paths, Trees: p.Trees}
+	}
+}
+
+// schemeFunc builds the named registry scheme over (t, l) and adapts it;
+// the constructors below only pair it with statically valid topologies,
+// so a build error is a programming bug and panics.
+func schemeFunc(name string, t topology.Topology, l labeling.Labeling, opts routing.Options) RouteFunc {
+	r, err := routing.NewWithOptions(name, routing.NewStateWithLabeling(t, l), opts)
+	if err != nil {
+		panic(err)
+	}
+	return RouteFuncOf(r)
 }
 
 // DualPathScheme routes with the dual-path algorithm on single channels.
 func DualPathScheme(t topology.Topology, l labeling.Labeling) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Paths: dfr.DualPath(t, l, k).Paths}
-	}
+	return schemeFunc("dual-path", t, l, routing.Options{})
 }
 
 // DualPathDoubleScheme is dual-path on the double-channel network.
 func DualPathDoubleScheme(t topology.Topology, l labeling.Labeling) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Paths: classify(l, dfr.DualPath(t, l, k))}
-	}
+	return schemeFunc("dual-path-double", t, l, routing.Options{})
 }
 
 // MultiPathMeshScheme routes with the mesh multi-path algorithm on
 // single channels.
 func MultiPathMeshScheme(m *topology.Mesh2D, l labeling.Labeling) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Paths: dfr.MultiPathMesh(m, l, k).Paths}
-	}
+	return schemeFunc("multi-path", m, l, routing.Options{})
 }
 
 // MultiPathMeshDoubleScheme is mesh multi-path on double channels.
 func MultiPathMeshDoubleScheme(m *topology.Mesh2D, l labeling.Labeling) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Paths: classify(l, dfr.MultiPathMesh(m, l, k))}
-	}
+	return schemeFunc("multi-path-double", m, l, routing.Options{})
 }
 
 // MultiPathCubeScheme routes with the hypercube multi-path algorithm.
 func MultiPathCubeScheme(h *topology.Hypercube, l labeling.Labeling) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Paths: dfr.MultiPathCube(h, l, k).Paths}
-	}
+	return schemeFunc("multi-path", h, l, routing.Options{})
 }
 
 // FixedPathScheme routes with the fixed-path algorithm on single
 // channels.
 func FixedPathScheme(t topology.Topology, l labeling.Labeling) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Paths: dfr.FixedPath(t, l, k).Paths}
-	}
+	return schemeFunc("fixed-path", t, l, routing.Options{})
 }
 
 // DoubleChannelTreeScheme routes with the deadlock-free double-channel
 // X-first tree algorithm (Section 6.2.1).
 func DoubleChannelTreeScheme(m *topology.Mesh2D) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Trees: dfr.DoubleChannelXFirst(m, k)}
-	}
+	return schemeFunc("tree", m, labeling.NewMeshBoustrophedon(m), routing.Options{})
 }
 
 // NaiveTreeScheme routes with the single-channel X-first multicast tree —
 // the deadlock-PRONE extension of Section 6.1, exposed so the simulator
 // can demonstrate the deadlock the chapter opens with.
 func NaiveTreeScheme(m *topology.Mesh2D) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Trees: dfr.XFirstTrees(m, k)}
-	}
+	return schemeFunc("naive-tree", m, labeling.NewMeshBoustrophedon(m), routing.Options{})
 }
 
 // AdaptiveDualPathScheme routes with congestion-adaptive dual-path
 // routing (the Section 8.2 adaptive extension): hops avoid currently-busy
 // channels while staying label-monotone, hence deadlock-free.
 func AdaptiveDualPathScheme(t topology.Topology, l labeling.Labeling) LiveRouteFunc {
-	return func(k core.MulticastSet, oracle dfr.ChannelOracle) Injection {
-		return Injection{Paths: dfr.AdaptiveDualPath(t, l, k, oracle).Paths}
+	r, err := routing.New("adaptive-dual-path", routing.NewStateWithLabeling(t, l))
+	if err != nil {
+		panic(err)
 	}
+	return LiveRouteFuncOf(r.(routing.LiveRouter))
 }
 
 // VirtualChannelScheme routes with the Section 8.2 virtual-channel
 // extension: 2v label-monotone subnetworks over v channel copies per
 // direction.
 func VirtualChannelScheme(t topology.Topology, l labeling.Labeling, v int) RouteFunc {
-	return func(k core.MulticastSet) Injection {
-		return Injection{Paths: dfr.VirtualChannelPath(t, l, k, v).Paths}
-	}
+	return schemeFunc("virtual-channel", t, l, routing.Options{VirtualChannels: v})
 }
