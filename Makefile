@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-baseline bench-routing-baseline results
+.PHONY: check fmt vet build test race bench bench-baseline bench-routing-baseline bench-heuristics-baseline results
 
 ## check: everything CI runs — format, vet, build, race tests, quick benchmarks
 check: fmt vet build race bench
@@ -21,10 +21,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: quick performance smoke — core throughput, figure pipeline, routing engine
+## bench: quick performance smoke — core throughput, figure pipeline, routing engine, heuristic kernels, static sweep scaling
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkWormsimCyclesPerSec|BenchmarkDynamicFigures|BenchmarkSimulator' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkRoutingPlan' -benchtime 100x ./internal/routing
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedyST|BenchmarkKMB|BenchmarkSortedMP' -benchmem -benchtime 100x ./internal/heuristics
+	$(GO) test -run '^$$' -bench 'BenchmarkStaticTable' -benchmem -benchtime 1x ./internal/experiments
 
 ## bench-baseline: regenerate the committed BENCH_wormsim.json
 bench-baseline:
@@ -33,6 +35,10 @@ bench-baseline:
 ## bench-routing-baseline: regenerate the committed BENCH_routing.json
 bench-routing-baseline:
 	$(GO) test -run TestWriteRoutingBenchBaseline -update-routing-bench ./internal/routing
+
+## bench-heuristics-baseline: regenerate the committed BENCH_heuristics.json (before/after kernel comparison)
+bench-heuristics-baseline:
+	$(GO) test -run TestWriteHeuristicsBenchBaseline -update-heuristics-bench ./internal/heuristics
 
 ## results: regenerate every table and figure at full fidelity
 results:

@@ -44,6 +44,7 @@ func main() {
 		sopts = experiments.Quick()
 		dopts = experiments.DynamicQuick()
 	}
+	sopts.Parallel = *parallel
 	dopts.Parallel = *parallel
 
 	if *bench {
@@ -56,8 +57,8 @@ func main() {
 	writeText(*out, "table_5_2.txt", experiments.WriteTable52)
 	writeText(*out, "table_5_3.txt", experiments.WriteTable53)
 	writeText(*out, "table_5_4.txt", experiments.WriteTable54)
-	writeText(*out, "examples.txt", experiments.ExampleRoutes)
-	writeText(*out, "deadlocks.txt", experiments.DeadlockDemos)
+	writeText(*out, "examples.txt", func(w io.Writer) error { return experiments.ExampleRoutes(w, *parallel) })
+	writeText(*out, "deadlocks.txt", func(w io.Writer) error { return experiments.DeadlockDemos(w, *parallel) })
 
 	// Figures.
 	figures := []*stats.Figure{

@@ -23,9 +23,10 @@ func main() {
 	seed := flag.Uint64("seed", 1990, "workload seed")
 	figID := flag.String("fig", "", "only this figure (e.g. 7.1, 7.5, ablationA)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); output is identical at every worker count")
 	flag.Parse()
 
-	opts := experiments.Options{Reps: *reps, Seed: *seed}
+	opts := experiments.Options{Reps: *reps, Seed: *seed, Parallel: *parallel}
 	figs := map[string]func(experiments.Options) *stats.Figure{
 		"7.1":       experiments.Fig71SortedMPMesh,
 		"7.2":       experiments.Fig72SortedMPCube,

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/bits"
+
+	"multicastnet/internal/topology"
+)
+
+// NodeSet is a bitset over the dense NodeIDs of a topology. It is the
+// allocation-free counterpart of the map returned by
+// MulticastSet.DestSet: sized once to the topology, reset in O(N/64),
+// and reused across calls by the heuristics workspaces.
+type NodeSet struct {
+	words []uint64
+	n     int
+}
+
+// Reset sizes the set for node IDs in [0, n) and clears it. The backing
+// array is reused when large enough, so steady-state use allocates
+// nothing.
+func (s *NodeSet) Reset(n int) {
+	nw := (n + 63) >> 6
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+	} else {
+		s.words = s.words[:nw]
+		clear(s.words)
+	}
+	s.n = n
+}
+
+// Cap returns the node-ID bound the set was last Reset to.
+func (s *NodeSet) Cap() int { return s.n }
+
+// Add inserts v. It panics (via bounds check) when v is outside the
+// Reset range.
+func (s *NodeSet) Add(v topology.NodeID) {
+	s.words[uint(v)>>6] |= 1 << (uint(v) & 63)
+}
+
+// Remove deletes v.
+func (s *NodeSet) Remove(v topology.NodeID) {
+	s.words[uint(v)>>6] &^= 1 << (uint(v) & 63)
+}
+
+// Has reports membership; out-of-range IDs are simply absent.
+func (s *NodeSet) Has(v topology.NodeID) bool {
+	if v < 0 || int(v) >= s.n {
+		return false
+	}
+	return s.words[uint(v)>>6]>>(uint(v)&63)&1 == 1
+}
+
+// Len returns the number of members.
+func (s *NodeSet) Len() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// DestBits fills set with the destination set of k over a topology of n
+// nodes — the allocation-free counterpart of DestSet for hot paths.
+func (k MulticastSet) DestBits(n int, set *NodeSet) {
+	set.Reset(n)
+	for _, d := range k.Dests {
+		set.Add(d)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"multicastnet/internal/topology"
+)
+
+func TestNodeSetBasics(t *testing.T) {
+	var s NodeSet
+	s.Reset(130) // spans three words, one partially used
+	if s.Cap() != 130 || s.Len() != 0 {
+		t.Fatalf("fresh set: cap %d len %d", s.Cap(), s.Len())
+	}
+	for _, v := range []topology.NodeID{0, 63, 64, 129} {
+		s.Add(v)
+	}
+	if s.Len() != 4 {
+		t.Errorf("len = %d, want 4", s.Len())
+	}
+	if !s.Has(63) || !s.Has(64) || s.Has(1) || s.Has(128) {
+		t.Error("membership wrong around word boundary")
+	}
+	// Out-of-range queries are absent, not panics.
+	if s.Has(-1) || s.Has(130) || s.Has(1000) {
+		t.Error("out-of-range ID reported present")
+	}
+	s.Remove(63)
+	s.Remove(129)
+	if s.Has(63) || s.Has(129) || s.Len() != 2 {
+		t.Error("removal wrong")
+	}
+	// Double-add and double-remove are idempotent.
+	s.Add(64)
+	s.Remove(63)
+	if s.Len() != 2 {
+		t.Errorf("idempotence broken: len %d", s.Len())
+	}
+}
+
+func TestNodeSetResetReuses(t *testing.T) {
+	var s NodeSet
+	s.Reset(256)
+	s.Add(200)
+	// Shrinking reset reuses the backing array and clears old members.
+	s.Reset(64)
+	if s.Cap() != 64 || s.Len() != 0 || s.Has(200) {
+		t.Error("shrinking Reset leaked state")
+	}
+	s.Add(5)
+	// Growing back within the original capacity must not resurrect bits.
+	s.Reset(256)
+	if s.Len() != 0 || s.Has(5) || s.Has(200) {
+		t.Error("growing Reset leaked state")
+	}
+}
+
+func TestDestBits(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	k := MustMulticastSet(m, 9, []topology.NodeID{0, 1, 6, 12})
+	var s NodeSet
+	k.DestBits(m.Nodes(), &s)
+	want := k.DestSet()
+	for v := 0; v < m.Nodes(); v++ {
+		id := topology.NodeID(v)
+		if s.Has(id) != want[id] {
+			t.Errorf("node %d: bitset %v, map %v", v, s.Has(id), want[id])
+		}
+	}
+	if s.Len() != len(k.Dests) {
+		t.Errorf("len = %d, want %d", s.Len(), len(k.Dests))
+	}
+}

@@ -38,24 +38,62 @@ func ExtVirtualChannelsStatic(opts Options) *stats.Figure {
 		traffic[vt.name] = fig.AddSeries(vt.name + " traffic")
 		maxDist[vt.name] = fig.AddSeries(vt.name + " max-dist")
 	}
+	// Same three-stage split as staticSweep: serial workload generation,
+	// parallel plan evaluation into disjoint slices, serial fold in rep
+	// order — the figure bytes are independent of opts.Parallel.
+	reps := opts.reps()
 	rng := stats.NewRand(opts.Seed)
+	type block struct {
+		k    int
+		sets []core.MulticastSet
+	}
+	var blocks []block
 	for _, k := range KValuesSmall {
 		if k > m.Nodes()-1 {
 			continue
 		}
-		tSum := make(map[string]float64)
-		dSum := make(map[string]float64)
-		for rep := 0; rep < opts.reps(); rep++ {
-			set := randomSet(m, rng, k)
-			for _, vt := range variants {
-				p := vt.router.PlanSet(set)
-				tSum[vt.name] += additionalTraffic(p.Traffic(), k)
-				dSum[vt.name] += float64(p.MaxDistance())
+		b := block{k: k, sets: make([]core.MulticastSet, reps)}
+		for rep := range b.sets {
+			b.sets[rep] = randomSet(m, rng, k)
+		}
+		blocks = append(blocks, b)
+	}
+	type counts struct{ traffic, maxDist []int }
+	raw := make([][]counts, len(blocks))
+	var points []SweepPoint
+	for bi := range blocks {
+		raw[bi] = make([]counts, len(variants))
+		sets := blocks[bi].sets
+		for vi := range variants {
+			c := counts{traffic: make([]int, reps), maxDist: make([]int, reps)}
+			raw[bi][vi] = c
+			r := variants[vi].router
+			for lo := 0; lo < reps; lo += staticChunk {
+				lo, hi := lo, min(lo+staticChunk, reps)
+				points = append(points, SweepPoint{
+					Run: func() any {
+						for rep := lo; rep < hi; rep++ {
+							p := r.PlanSet(sets[rep])
+							c.traffic[rep] = p.Traffic()
+							c.maxDist[rep] = p.MaxDistance()
+						}
+						return nil
+					},
+					Commit: func(any) {},
+				})
 			}
 		}
-		for _, vt := range variants {
-			traffic[vt.name].Add(float64(k), tSum[vt.name]/float64(opts.reps()))
-			maxDist[vt.name].Add(float64(k), dSum[vt.name]/float64(opts.reps()))
+	}
+	RunSweep(points, opts.Parallel)
+	for bi, b := range blocks {
+		for vi, vt := range variants {
+			tSum, dSum := 0.0, 0.0
+			for rep := 0; rep < reps; rep++ {
+				tSum += additionalTraffic(raw[bi][vi].traffic[rep], b.k)
+				dSum += float64(raw[bi][vi].maxDist[rep])
+			}
+			traffic[vt.name].Add(float64(b.k), tSum/float64(reps))
+			maxDist[vt.name].Add(float64(b.k), dSum/float64(reps))
 		}
 	}
 	return fig
@@ -203,10 +241,10 @@ func ExtDualPath3D(opts Options) *stats.Figure {
 	fixed := mustRouter("fixed-path", st, routing.Options{})
 	fig := &stats.Figure{ID: "Ext 3D", Title: "Dual-path routing on a 4x4x4 mesh",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	staticSweep(fig, m, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
-		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
-		"dual-path":  func(k core.MulticastSet) int { return dual.PlanSet(k).Traffic() },
-		"fixed-path": func(k core.MulticastSet) int { return fixed.PlanSet(k).Traffic() },
+	staticSweep(fig, m, KValuesSmall, opts, map[string]staticAlgo{
+		"one-to-one": func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
+		"dual-path":  func(_ *heuristics.Workspace, k core.MulticastSet) int { return dual.PlanSet(k).Traffic() },
+		"fixed-path": func(_ *heuristics.Workspace, k core.MulticastSet) int { return fixed.PlanSet(k).Traffic() },
 	}, []string{"one-to-one", "dual-path", "fixed-path"})
 	return fig
 }

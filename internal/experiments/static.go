@@ -21,6 +21,11 @@ import (
 type Options struct {
 	Reps int
 	Seed uint64
+	// Parallel is the static-sweep worker count (<= 0 selects
+	// GOMAXPROCS). The workloads are always drawn serially from one RNG
+	// stream and the per-point means folded serially in rep order, so the
+	// figure bytes are identical at every worker count.
+	Parallel int
 }
 
 // Defaults returns the paper's parameters.
@@ -59,28 +64,85 @@ func randomSet(t topology.Topology, rng *stats.Rand, k int) core.MulticastSet {
 // units any 1-to-k multicast must spend.
 func additionalTraffic(total, k int) float64 { return float64(total - k) }
 
+// staticAlgo is one measured algorithm of a static sweep: it returns the
+// total traffic of routing set k, using ws for scratch space. The
+// closure must be pure apart from ws (it runs on a worker goroutine).
+type staticAlgo func(ws *heuristics.Workspace, k core.MulticastSet) int
+
+// staticChunk is the sweep grain: one point evaluates one algorithm on
+// one run of consecutive reps, large enough to amortize scheduling and
+// keep a worker's workspace cache-warm.
+const staticChunk = 64
+
 // staticSweep runs reps random sets per k for each named algorithm and
 // fills one series per algorithm with the mean additional traffic.
+//
+// The sweep is split into the three stages of the determinism contract
+// (see SweepPoint): the workloads are drawn serially from the single
+// sequential RNG stream, the integer traffic counts are evaluated in
+// parallel into disjoint slices, and the float means are folded serially
+// in rep order — reproducing the sequential implementation's
+// float-addition order bit for bit, so the figure bytes never depend on
+// opts.Parallel.
 func staticSweep(fig *stats.Figure, t topology.Topology, ks []int, opts Options,
-	algos map[string]func(core.MulticastSet) int, order []string) {
+	algos map[string]staticAlgo, order []string) {
 	series := make(map[string]*stats.Series, len(order))
 	for _, name := range order {
 		series[name] = fig.AddSeries(name)
 	}
+	reps := opts.reps()
+
+	type block struct {
+		k    int
+		sets []core.MulticastSet
+	}
 	rng := stats.NewRand(opts.Seed)
+	var blocks []block
 	for _, k := range ks {
 		if k > t.Nodes()-1 {
 			continue
 		}
-		sums := make(map[string]float64, len(order))
-		for rep := 0; rep < opts.reps(); rep++ {
-			set := randomSet(t, rng, k)
-			for _, name := range order {
-				sums[name] += additionalTraffic(algos[name](set), k)
+		b := block{k: k, sets: make([]core.MulticastSet, reps)}
+		for rep := range b.sets {
+			b.sets[rep] = randomSet(t, rng, k)
+		}
+		blocks = append(blocks, b)
+	}
+
+	raw := make([][][]int, len(blocks))
+	var points []SweepPoint
+	for bi := range blocks {
+		raw[bi] = make([][]int, len(order))
+		sets := blocks[bi].sets
+		for ai, name := range order {
+			out := make([]int, reps)
+			raw[bi][ai] = out
+			algo := algos[name]
+			for lo := 0; lo < reps; lo += staticChunk {
+				lo, hi := lo, min(lo+staticChunk, reps)
+				points = append(points, SweepPoint{
+					Run: func() any {
+						ws := heuristics.AcquireWorkspace()
+						defer heuristics.ReleaseWorkspace(ws)
+						for rep := lo; rep < hi; rep++ {
+							out[rep] = algo(ws, sets[rep])
+						}
+						return nil
+					},
+					Commit: func(any) {},
+				})
 			}
 		}
-		for _, name := range order {
-			series[name].Add(float64(k), sums[name]/float64(opts.reps()))
+	}
+	RunSweep(points, opts.Parallel)
+
+	for bi, b := range blocks {
+		for ai, name := range order {
+			sum := 0.0
+			for _, total := range raw[bi][ai] {
+				sum += additionalTraffic(total, b.k)
+			}
+			series[name].Add(float64(b.k), sum/float64(reps))
 		}
 	}
 }
@@ -95,10 +157,10 @@ func Fig71SortedMPMesh(opts Options) *stats.Figure {
 	}
 	fig := &stats.Figure{ID: "Fig 7.1", Title: "Sorted MP algorithm on a 32x32 mesh",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	staticSweep(fig, m, KValuesMesh1024, opts, map[string]func(core.MulticastSet) int{
-		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
-		"broadcast":  func(k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
-		"sorted MP":  func(k core.MulticastSet) int { return heuristics.SortedMP(m, c, k).Traffic() },
+	staticSweep(fig, m, KValuesMesh1024, opts, map[string]staticAlgo{
+		"one-to-one": func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
+		"broadcast":  func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
+		"sorted MP":  func(ws *heuristics.Workspace, k core.MulticastSet) int { return ws.SortedMP(m, c, k) },
 	}, []string{"one-to-one", "broadcast", "sorted MP"})
 	return fig
 }
@@ -112,10 +174,10 @@ func Fig72SortedMPCube(opts Options) *stats.Figure {
 	}
 	fig := &stats.Figure{ID: "Fig 7.2", Title: "Sorted MP algorithm on a 10-cube",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	staticSweep(fig, h, KValuesMesh1024, opts, map[string]func(core.MulticastSet) int{
-		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(h, k) },
-		"broadcast":  func(k core.MulticastSet) int { return heuristics.BroadcastTraffic(h) },
-		"sorted MP":  func(k core.MulticastSet) int { return heuristics.SortedMP(h, c, k).Traffic() },
+	staticSweep(fig, h, KValuesMesh1024, opts, map[string]staticAlgo{
+		"one-to-one": func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(h, k) },
+		"broadcast":  func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.BroadcastTraffic(h) },
+		"sorted MP":  func(ws *heuristics.Workspace, k core.MulticastSet) int { return ws.SortedMP(h, c, k) },
 	}, []string{"one-to-one", "broadcast", "sorted MP"})
 	return fig
 }
@@ -125,10 +187,10 @@ func Fig73GreedySTMesh(opts Options) *stats.Figure {
 	m := topology.NewMesh2D(32, 32)
 	fig := &stats.Figure{ID: "Fig 7.3", Title: "Greedy ST algorithm on a 32x32 mesh",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	staticSweep(fig, m, KValuesMesh1024, opts, map[string]func(core.MulticastSet) int{
-		"one-to-one": func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
-		"broadcast":  func(k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
-		"greedy ST":  func(k core.MulticastSet) int { return heuristics.GreedySTCarried(m, k).Links },
+	staticSweep(fig, m, KValuesMesh1024, opts, map[string]staticAlgo{
+		"one-to-one": func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
+		"broadcast":  func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
+		"greedy ST":  func(ws *heuristics.Workspace, k core.MulticastSet) int { return ws.GreedySTCarried(m, k) },
 	}, []string{"one-to-one", "broadcast", "greedy ST"})
 	return fig
 }
@@ -139,9 +201,9 @@ func Fig74GreedySTCube(opts Options) *stats.Figure {
 	h := topology.NewHypercube(10)
 	fig := &stats.Figure{ID: "Fig 7.4", Title: "Greedy ST algorithm vs LEN on a 10-cube",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	staticSweep(fig, h, KValuesMesh1024, opts, map[string]func(core.MulticastSet) int{
-		"LEN":       func(k core.MulticastSet) int { return heuristics.LEN(h, k).Links },
-		"greedy ST": func(k core.MulticastSet) int { return heuristics.GreedySTCarried(h, k).Links },
+	staticSweep(fig, h, KValuesMesh1024, opts, map[string]staticAlgo{
+		"LEN":       func(ws *heuristics.Workspace, k core.MulticastSet) int { return ws.LEN(h, k) },
+		"greedy ST": func(ws *heuristics.Workspace, k core.MulticastSet) int { return ws.GreedySTCarried(h, k) },
 	}, []string{"LEN", "greedy ST"})
 	return fig
 }
@@ -153,11 +215,11 @@ func Fig75MTMesh(opts Options) *stats.Figure {
 	fig := &stats.Figure{ID: "Fig 7.5", Title: "X-first and divided greedy algorithms on a 16x16 mesh",
 		XLabel: "destinations", YLabel: "additional traffic"}
 	ks := []int{1, 2, 5, 10, 20, 40, 60, 80, 100, 140, 180, 220}
-	staticSweep(fig, m, ks, opts, map[string]func(core.MulticastSet) int{
-		"one-to-one":     func(k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
-		"broadcast":      func(k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
-		"X-first":        func(k core.MulticastSet) int { return heuristics.XFirstMT(m, k).Links },
-		"divided greedy": func(k core.MulticastSet) int { return heuristics.DividedGreedyMT(m, k).Links },
+	staticSweep(fig, m, ks, opts, map[string]staticAlgo{
+		"one-to-one":     func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.MultiUnicastTraffic(m, k) },
+		"broadcast":      func(_ *heuristics.Workspace, k core.MulticastSet) int { return heuristics.BroadcastTraffic(m) },
+		"X-first":        func(ws *heuristics.Workspace, k core.MulticastSet) int { return ws.XFirstMT(m, k) },
+		"divided greedy": func(ws *heuristics.Workspace, k core.MulticastSet) int { return ws.DividedGreedyMT(m, k) },
 	}, []string{"one-to-one", "broadcast", "X-first", "divided greedy"})
 	return fig
 }
@@ -187,12 +249,14 @@ func Fig77PathTrafficMesh(opts Options) *stats.Figure {
 }
 
 // registryTraffic builds one traffic-counting closure per registry
-// scheme name, all sharing one precomputed topology state.
-func registryTraffic(st *routing.State, names ...string) map[string]func(core.MulticastSet) int {
-	out := make(map[string]func(core.MulticastSet) int, len(names))
+// scheme name, all sharing one precomputed topology state. Registry
+// routers plan from immutable state, so the closures are safe on worker
+// goroutines.
+func registryTraffic(st *routing.State, names ...string) map[string]staticAlgo {
+	out := make(map[string]staticAlgo, len(names))
 	for _, name := range names {
 		r := mustRouter(name, st, routing.Options{})
-		out[name] = func(k core.MulticastSet) int { return r.PlanSet(k).Traffic() }
+		out[name] = func(_ *heuristics.Workspace, k core.MulticastSet) int { return r.PlanSet(k).Traffic() }
 	}
 	return out
 }
@@ -218,11 +282,11 @@ func AblationLabeling(opts Options) *stats.Figure {
 	}
 	fig := &stats.Figure{ID: "Ablation A", Title: "Dual-path traffic under different Hamilton labelings (16x16 mesh)",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	algos := make(map[string]func(core.MulticastSet) int, len(labelings))
+	algos := make(map[string]staticAlgo, len(labelings))
 	var order []string
 	for _, entry := range labelings {
 		r := mustRouter("dual-path", routing.NewStateWithLabeling(m, entry.l), routing.Options{})
-		algos[entry.name] = func(k core.MulticastSet) int { return r.PlanSet(k).Traffic() }
+		algos[entry.name] = func(_ *heuristics.Workspace, k core.MulticastSet) int { return r.PlanSet(k).Traffic() }
 		order = append(order, entry.name)
 	}
 	staticSweep(fig, m, KValuesSmall, opts, algos, order)
@@ -240,7 +304,7 @@ func AblationDestinationOrder(opts Options) *stats.Figure {
 		panic(err)
 	}
 	router := core.XYRouter{Mesh: m}
-	unsorted := func(k core.MulticastSet) int {
+	unsorted := func(_ *heuristics.Workspace, k core.MulticastSet) int {
 		total := 0
 		at := k.Source
 		for _, d := range k.Dests {
@@ -251,8 +315,8 @@ func AblationDestinationOrder(opts Options) *stats.Figure {
 	}
 	fig := &stats.Figure{ID: "Ablation B", Title: "Sorted vs unsorted multicast path (16x16 mesh)",
 		XLabel: "destinations", YLabel: "additional traffic"}
-	staticSweep(fig, m, KValuesSmall, opts, map[string]func(core.MulticastSet) int{
-		"sorted MP":     func(k core.MulticastSet) int { return heuristics.SortedMP(m, c, k).Traffic() },
+	staticSweep(fig, m, KValuesSmall, opts, map[string]staticAlgo{
+		"sorted MP":     func(ws *heuristics.Workspace, k core.MulticastSet) int { return ws.SortedMP(m, c, k) },
 		"unsorted path": unsorted,
 	}, []string{"sorted MP", "unsorted path"})
 	return fig

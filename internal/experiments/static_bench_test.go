@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStaticTable times a full static figure sweep (Fig. 7.5, 200
+// replicates per point) at several worker counts. The sweep's
+// determinism contract means every count computes identical bytes, so
+// this measures pure scheduling: on a multicore machine the 8-worker run
+// should approach linear speedup, while on a single-CPU box (GOMAXPROCS
+// 1) the counts coincide and the benchmark documents that honestly.
+func BenchmarkStaticTable(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := Options{Reps: 200, Seed: 1990, Parallel: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Fig75MTMesh(o)
+			}
+		})
+	}
+}

@@ -30,15 +30,26 @@ func (g *Graph) N() int { return len(g.adj) }
 // AddEdge inserts the undirected edge (u, v). Duplicate edges and
 // self-loops are rejected with a panic: the host graphs of the paper are
 // simple graphs, and a duplicate insertion indicates a construction bug.
+// The duplicate scan costs O(deg); constructors that guarantee
+// uniqueness by enumeration (lattices, topology converters) should use
+// AddEdgeUnchecked, which keeps dense-graph construction O(V+E).
 func (g *Graph) AddEdge(u, v int) {
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graphx: duplicate edge (%d,%d)", u, v))
+	}
+	g.AddEdgeUnchecked(u, v)
+}
+
+// AddEdgeUnchecked inserts (u, v) in O(1), skipping the duplicate-edge
+// scan of AddEdge. Self-loops and out-of-range vertices still panic.
+// Callers are responsible for never inserting an edge twice: each edge
+// of a simple graph must be added exactly once.
+func (g *Graph) AddEdgeUnchecked(u, v int) {
 	if u == v {
 		panic(fmt.Sprintf("graphx: self-loop at %d", u))
 	}
 	g.check(u)
 	g.check(v)
-	if g.HasEdge(u, v) {
-		panic(fmt.Sprintf("graphx: duplicate edge (%d,%d)", u, v))
-	}
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 }
@@ -100,24 +111,15 @@ func (g *Graph) check(v int) {
 }
 
 // BFSDistances returns the distance from src to every vertex, with -1 for
-// unreachable vertices.
+// unreachable vertices. Hot paths that traverse repeatedly should hold a
+// Scratch and call its BFS method instead; this convenience wrapper
+// allocates the result slice per call.
 func (g *Graph) BFSDistances(src int) []int {
-	g.check(src)
+	var s Scratch
+	s.BFS(g, src)
 	dist := make([]int, g.N())
 	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
-			}
-		}
+		dist[i] = s.Dist(i)
 	}
 	return dist
 }
@@ -146,18 +148,10 @@ func (g *Graph) ShortestPath(src, dst int) []int {
 }
 
 // Connected reports whether the graph is connected (vacuously true for
-// n <= 1).
+// n <= 1). Repeated connectivity checks should reuse a Scratch.
 func (g *Graph) Connected() bool {
-	if g.N() <= 1 {
-		return true
-	}
-	dist := g.BFSDistances(0)
-	for _, d := range dist {
-		if d < 0 {
-			return false
-		}
-	}
-	return true
+	var s Scratch
+	return s.Connected(g)
 }
 
 // IsTree reports whether the graph is connected and acyclic.

@@ -71,9 +71,11 @@ func (g *GridGraph) Contains(p Point) bool {
 func (g *GridGraph) Graph() *Graph {
 	gr := NewGraph(g.N())
 	for i, p := range g.points {
+		// Each lattice edge is enumerated exactly once (from its lower
+		// endpoint), so the duplicate scan of AddEdge is unnecessary.
 		for _, q := range []Point{{p.X + 1, p.Y}, {p.X, p.Y + 1}} {
 			if j, ok := g.index[q]; ok {
-				gr.AddEdge(i, j)
+				gr.AddEdgeUnchecked(i, j)
 			}
 		}
 	}

@@ -1,0 +1,74 @@
+package graphx
+
+// Scratch is reusable epoch-marked BFS state. A zero Scratch is ready to
+// use; after the first call on a graph of n vertices the arrays are warm
+// and subsequent traversals allocate nothing. Visited marks are epoch
+// counters, so resetting between traversals is O(1) instead of O(V).
+//
+// A Scratch is owned by one goroutine. Graphs are safely shared between
+// goroutines (their query methods are read-only); each goroutine brings
+// its own Scratch.
+type Scratch struct {
+	epoch   uint32
+	mark    []uint32
+	dist    []int
+	queue   []int
+	reached int
+}
+
+// grow sizes the arrays for n vertices.
+func (s *Scratch) grow(n int) {
+	if len(s.mark) < n {
+		s.mark = make([]uint32, n)
+		s.dist = make([]int, n)
+		s.epoch = 0
+	}
+}
+
+// BFS runs a breadth-first traversal from src, leaving distances
+// readable through Dist until the next traversal on this Scratch.
+func (s *Scratch) BFS(g *Graph, src int) {
+	g.check(src)
+	s.grow(g.N())
+	s.epoch++
+	if s.epoch == 0 { // wrapped: all marks look fresh, so wipe them
+		clear(s.mark)
+		s.epoch = 1
+	}
+	s.mark[src] = s.epoch
+	s.dist[src] = 0
+	s.queue = append(s.queue[:0], src)
+	s.reached = 1
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		for _, v := range g.adj[u] {
+			if s.mark[v] != s.epoch {
+				s.mark[v] = s.epoch
+				s.dist[v] = s.dist[u] + 1
+				s.queue = append(s.queue, v)
+				s.reached++
+			}
+		}
+	}
+}
+
+// Dist returns the distance of v from the last BFS source, or -1 when v
+// was not reached.
+func (s *Scratch) Dist(v int) int {
+	if v < 0 || v >= len(s.mark) || s.mark[v] != s.epoch || s.epoch == 0 {
+		return -1
+	}
+	return s.dist[v]
+}
+
+// Reached returns the number of vertices the last BFS visited.
+func (s *Scratch) Reached() int { return s.reached }
+
+// Connected reports whether g is connected, reusing the scratch arrays.
+func (s *Scratch) Connected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	s.BFS(g, 0)
+	return s.reached == g.N()
+}

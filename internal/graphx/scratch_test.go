@@ -1,0 +1,125 @@
+package graphx
+
+import (
+	"testing"
+)
+
+func TestAddEdgeUnchecked(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdgeUnchecked(0, 1)
+	g.AddEdgeUnchecked(1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 1) || g.HasEdge(0, 2) {
+		t.Error("unchecked edges not recorded")
+	}
+	if g.Edges() != 2 {
+		t.Errorf("edges = %d, want 2", g.Edges())
+	}
+	// AddEdge still rejects a duplicate of an unchecked insertion.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate AddEdge after AddEdgeUnchecked did not panic")
+			}
+		}()
+		g.AddEdge(1, 0)
+	}()
+	// The unchecked path skips only the duplicate scan, not validation.
+	for _, bad := range [][2]int{{2, 2}, {0, 4}, {-1, 0}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddEdgeUnchecked(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			g.AddEdgeUnchecked(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestScratchBFSMatchesBFSDistances(t *testing.T) {
+	g := gridRect(5, 4).Graph()
+	var s Scratch
+	for src := 0; src < g.N(); src++ {
+		s.BFS(g, src)
+		want := g.BFSDistances(src)
+		for v := 0; v < g.N(); v++ {
+			if s.Dist(v) != want[v] {
+				t.Fatalf("src %d: Dist(%d) = %d, want %d", src, v, s.Dist(v), want[v])
+			}
+		}
+		if s.Reached() != g.N() {
+			t.Fatalf("src %d: reached %d of %d", src, s.Reached(), g.N())
+		}
+	}
+	// Disconnected graph: unreached vertices report -1 and Connected is
+	// false through the same scratch.
+	h := NewGraph(5)
+	h.AddEdge(0, 1)
+	h.AddEdge(3, 4)
+	s.BFS(h, 0)
+	if s.Dist(3) != -1 || s.Dist(1) != 1 {
+		t.Errorf("disconnected dists: Dist(3)=%d Dist(1)=%d", s.Dist(3), s.Dist(1))
+	}
+	if s.Connected(h) {
+		t.Error("disconnected graph reported connected")
+	}
+	if !s.Connected(g) {
+		t.Error("grid graph reported disconnected")
+	}
+}
+
+func TestScratchEpochWrap(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	var s Scratch
+	s.BFS(g, 0)
+	s.epoch = ^uint32(0) // force the wrap path on the next traversal
+	s.BFS(g, 1)
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", s.epoch)
+	}
+	if s.Dist(0) != 1 || s.Dist(2) != -1 {
+		t.Errorf("post-wrap dists: Dist(0)=%d Dist(2)=%d", s.Dist(0), s.Dist(2))
+	}
+}
+
+func TestCSRSnapshot(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 1)
+	g.AddEdge(0, 1)
+	c := NewCSR(g)
+	if c.N() != 4 || c.Arcs() != 8 {
+		t.Fatalf("N=%d Arcs=%d", c.N(), c.Arcs())
+	}
+	// Row preserves insertion order; SortedRow is ascending.
+	if row := c.Row(2); row[0] != 0 || row[1] != 3 || row[2] != 1 {
+		t.Errorf("Row(2) = %v, want [0 3 1]", row)
+	}
+	if srow := c.SortedRow(2); srow[0] != 0 || srow[1] != 1 || srow[2] != 3 {
+		t.Errorf("SortedRow(2) = %v, want [0 1 3]", srow)
+	}
+	// SortedPos addresses arcs in sorted-row space, symmetric per
+	// direction, -1 for non-edges.
+	if p := c.SortedPos(2, 3); c.SortedCol[p] != 3 || p < c.RowStart[2] || p >= c.RowStart[3] {
+		t.Errorf("SortedPos(2,3) = %d out of row", p)
+	}
+	if c.SortedPos(0, 3) != -1 {
+		t.Error("SortedPos(0,3) should be -1")
+	}
+	seen := make(map[int32]bool)
+	for v := int32(0); v < 4; v++ {
+		for _, w := range c.SortedRow(v) {
+			p := c.SortedPos(v, w)
+			if seen[p] {
+				t.Fatalf("arc position %d reused", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != c.Arcs() {
+		t.Errorf("distinct arc positions %d, want %d", len(seen), c.Arcs())
+	}
+}

@@ -1,7 +1,7 @@
 package heuristics
 
 import (
-	"sort"
+	"slices"
 
 	"multicastnet/internal/core"
 	"multicastnet/internal/graphx"
@@ -30,40 +30,31 @@ func BroadcastTraffic(t topology.Topology) int { return t.Nodes() - 1 }
 // the destinations are repeatedly assigned to the dimension that covers
 // the most of them: the subset of destinations whose address differs in
 // the chosen bit is forwarded to that neighbor. Every destination travels
-// a shortest path, so the pattern is a multicast tree.
-func LEN(h *topology.Hypercube, k core.MulticastSet) *STResult {
-	res := newSTResult()
-	destSet := k.DestSet()
-
-	type message struct {
-		at    topology.NodeID
-		depth int
-		dests []topology.NodeID
-	}
-	queue := []message{{at: k.Source, depth: 0, dests: k.Dests}}
-	for len(queue) > 0 {
-		msg := queue[0]
-		queue = queue[1:]
+// a shortest path, so the pattern is a multicast tree. Returns the link
+// traffic; the pattern stays in the workspace run log.
+func (ws *Workspace) LEN(h *topology.Hypercube, k core.MulticastSet) int {
+	ws.begin(h, k)
+	ws.arena = append(ws.arena[:0], k.Dests...)
+	ws.msgs = append(ws.msgs[:0], stMsg{at: k.Source, off: 0, n: int32(len(ws.arena))})
+	for head := 0; head < len(ws.msgs); head++ {
+		msg := ws.msgs[head]
 		u := msg.at
-		remaining := make([]topology.NodeID, 0, len(msg.dests))
-		for _, d := range msg.dests {
+		rem := ws.lenA[:0]
+		for _, d := range ws.arena[msg.off : msg.off+msg.n] {
 			if d == u {
-				if destSet[d] {
-					if _, seen := res.Delivered[d]; !seen {
-						res.Delivered[d] = msg.depth
-					}
-				}
+				ws.deliver(d, msg.depth)
 				continue
 			}
-			remaining = append(remaining, d)
+			rem = append(rem, d)
 		}
-		for len(remaining) > 0 {
+		spare := ws.lenB[:0]
+		for len(rem) > 0 {
 			// Choose the dimension covering the most remaining
 			// destinations (lowest dimension on ties).
 			bestDim, bestCount := -1, 0
 			for b := 0; b < h.Dim; b++ {
 				count := 0
-				for _, d := range remaining {
+				for _, d := range rem {
 					if (u^d)>>b&1 == 1 {
 						count++
 					}
@@ -73,29 +64,216 @@ func LEN(h *topology.Hypercube, k core.MulticastSet) *STResult {
 				}
 			}
 			next := u ^ topology.NodeID(1<<bestDim)
-			var sub, rest []topology.NodeID
-			for _, d := range remaining {
+			// The covered subset becomes the forwarded message's
+			// destination list (a fresh arena segment); the rest stays
+			// for another round at u.
+			off := int32(len(ws.arena))
+			spare = spare[:0]
+			for _, d := range rem {
 				if (u^d)>>bestDim&1 == 1 {
-					sub = append(sub, d)
+					ws.arena = append(ws.arena, d)
 				} else {
-					rest = append(rest, d)
+					spare = append(spare, d)
 				}
 			}
-			res.send(u, next)
-			queue = append(queue, message{at: next, depth: msg.depth + 1, dests: sub})
-			remaining = rest
+			ws.send(u, next)
+			ws.msgs = append(ws.msgs, stMsg{at: next, depth: msg.depth + 1, off: off, n: int32(len(ws.arena)) - off})
+			rem, spare = spare, rem
 		}
+		ws.lenA, ws.lenB = rem, spare // keep grown capacity for reuse
 	}
-	return res
+	return len(ws.edges)
+}
+
+// LEN runs the Lan–Esfahanian–Ni multicast-tree heuristic [20] on a
+// hypercube and returns the delivered routing pattern. See Workspace.LEN
+// for the allocation-free form.
+func LEN(h *topology.Hypercube, k core.MulticastSet) *STResult {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.LEN(h, k)
+	return ws.stResult()
 }
 
 // KMB computes a Steiner tree for terminals in g with the classic
 // Kou–Markowsky–Berman heuristic [55] (2-approximation): build the metric
 // closure over the terminals, take its minimum spanning tree, expand each
 // closure edge into a shortest path, take a spanning tree of the expanded
-// subgraph, and prune non-terminal leaves. It is the general-graph
-// reference against which the topology-aware greedy ST is compared.
-// The returned edges are undirected pairs (u < v).
+// subgraph, and prune non-terminal leaves. Requires len(terminals) >= 2.
+// Returns the pruned tree's edge count; the edges are left in
+// ws.kmbPacked as (min<<32|max) pairs in ascending order.
+//
+// The computation is fully deterministic: the Prim step scans tree
+// terminals in insertion order and candidates in input order with strict
+// improvement, so ties resolve to the earliest pair (the map-based
+// original left them to map iteration order).
+func (ws *Workspace) KMB(g *graphx.Graph, terminals []int) int {
+	if len(terminals) < 2 {
+		ws.kmbPacked = ws.kmbPacked[:0]
+		return 0
+	}
+	if ws.csrFor != g {
+		ws.csr, ws.csrFor = graphx.NewCSR(g), g
+	}
+	csr := ws.csr
+	n := csr.N()
+	nt := len(terminals)
+
+	// Metric closure: BFS distance row per terminal (stride n).
+	if cap(ws.kdist) < nt*n {
+		ws.kdist = make([]int32, nt*n)
+	}
+	ws.kdist = ws.kdist[:nt*n]
+	if cap(ws.kqueue) < n {
+		ws.kqueue = make([]int32, 0, n)
+	}
+	if cap(ws.kparent) < n {
+		ws.kparent = make([]int32, n)
+		ws.kdeg = make([]int32, n)
+	}
+	ws.kparent, ws.kdeg = ws.kparent[:n], ws.kdeg[:n]
+	for ti, t := range terminals {
+		row := ws.kdist[ti*n : (ti+1)*n]
+		for i := range row {
+			row[i] = -1
+		}
+		row[t] = 0
+		q := ws.kqueue[:0]
+		q = append(q, int32(t))
+		for qh := 0; qh < len(q); qh++ {
+			u := q[qh]
+			du := row[u]
+			for _, w := range csr.Row(u) {
+				if row[w] < 0 {
+					row[w] = du + 1
+					q = append(q, w)
+				}
+			}
+		}
+		ws.kqueue = q
+	}
+
+	// Prim's MST over the terminal closure. ktList holds the terminal
+	// indices already in the tree, in insertion order; ws.vis marks their
+	// vertices.
+	ws.ktList = append(ws.ktList[:0], 0)
+	ws.vis.reset(n)
+	ws.vis.mark(int32(terminals[0]))
+	ws.kclosure = ws.kclosure[:0]
+	for len(ws.ktList) < nt {
+		bestU, bestV := int32(-1), int32(-1)
+		bestD := int32(-1)
+		for _, ti := range ws.ktList {
+			row := ws.kdist[int(ti)*n : (int(ti)+1)*n]
+			for si, s := range terminals {
+				if ws.vis.has(int32(s)) {
+					continue
+				}
+				if d := row[s]; d >= 0 && (bestD < 0 || d < bestD) {
+					bestU, bestV, bestD = ti, int32(si), d
+				}
+			}
+		}
+		if bestU < 0 {
+			panic("heuristics: KMB terminals not connected")
+		}
+		ws.kclosure = append(ws.kclosure, [2]int32{bestU, bestV})
+		ws.vis.mark(int32(terminals[bestV]))
+		ws.ktList = append(ws.ktList, bestV)
+	}
+
+	// Expand each closure edge into the deterministic shortest path
+	// (backward walk from v choosing the first adjacency-order neighbor
+	// one step closer, exactly as graphx.ShortestPath does), marking the
+	// traversed arcs in the sorted-position space.
+	ws.em.reset(csr.Arcs())
+	for _, ce := range ws.kclosure {
+		row := ws.kdist[int(ce[0])*n : (int(ce[0])+1)*n]
+		cur := int32(terminals[ce[1]])
+		for d := row[cur]; d > 0; d-- {
+			for _, w := range csr.Row(cur) {
+				if row[w] == d-1 {
+					ws.em.mark(csr.SortedPos(cur, w))
+					ws.em.mark(csr.SortedPos(w, cur))
+					cur = w
+					break
+				}
+			}
+		}
+	}
+
+	// Spanning tree of the expanded subgraph: BFS from terminals[0] over
+	// the marked arcs, neighbors in ascending vertex order (the original
+	// sorted its subgraph adjacency lists).
+	root := int32(terminals[0])
+	ws.vis.reset(n)
+	ws.vis.mark(root)
+	ws.kparent[root] = -1
+	bfs := ws.kqueue[:0]
+	bfs = append(bfs, root)
+	for qh := 0; qh < len(bfs); qh++ {
+		u := bfs[qh]
+		srow := csr.SortedRow(u)
+		base := csr.RowStart[u]
+		for i, w := range srow {
+			if ws.em.has(base+int32(i)) && !ws.vis.has(w) {
+				ws.vis.mark(w)
+				ws.kparent[w] = u
+				bfs = append(bfs, w)
+			}
+		}
+	}
+	ws.kqueue = bfs
+
+	// Degrees of the spanning tree, then prune non-terminal leaves to the
+	// (unique) fixpoint. Children follow parents in BFS order, so one
+	// pass with upward cascading reaches it. ws.tmp marks terminals,
+	// ws.dlv marks removed vertices.
+	clear(ws.kdeg)
+	for _, v := range bfs[1:] {
+		ws.kdeg[v]++
+		ws.kdeg[ws.kparent[v]]++
+	}
+	ws.tmp.reset(n)
+	for _, t := range terminals {
+		ws.tmp.mark(int32(t))
+	}
+	ws.dlv.reset(n)
+	for _, v := range bfs[1:] {
+		for u := v; u != root && ws.kdeg[u] == 1 && !ws.tmp.has(u) && !ws.dlv.has(u); {
+			ws.dlv.mark(u)
+			ws.kdeg[u]--
+			p := ws.kparent[u]
+			ws.kdeg[p]--
+			u = p
+		}
+	}
+
+	// Collect surviving edges as packed (min<<32 | max), ascending.
+	ws.kmbPacked = ws.kmbPacked[:0]
+	for _, v := range bfs[1:] {
+		if ws.dlv.has(v) {
+			continue
+		}
+		p := ws.kparent[v]
+		if ws.dlv.has(p) {
+			continue
+		}
+		a, b := v, p
+		if a > b {
+			a, b = b, a
+		}
+		ws.kmbPacked = append(ws.kmbPacked, int64(a)<<32|int64(b))
+	}
+	slices.Sort(ws.kmbPacked)
+	return len(ws.kmbPacked)
+}
+
+// KMB computes a Steiner tree for terminals in g with the
+// Kou–Markowsky–Berman heuristic [55]. It is the general-graph reference
+// against which the topology-aware greedy ST is compared. The returned
+// edges are undirected pairs (u < v) in ascending order. See
+// Workspace.KMB for the allocation-free form.
 func KMB(g *graphx.Graph, terminals []int) [][2]int {
 	if len(terminals) == 0 {
 		return nil
@@ -103,117 +281,13 @@ func KMB(g *graphx.Graph, terminals []int) [][2]int {
 	if len(terminals) == 1 {
 		return [][2]int{}
 	}
-	// Metric closure distances from each terminal.
-	dist := make(map[int][]int, len(terminals))
-	for _, t := range terminals {
-		dist[t] = g.BFSDistances(t)
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.KMB(g, terminals)
+	out := make([][2]int, len(ws.kmbPacked))
+	for i, p := range ws.kmbPacked {
+		out[i] = [2]int{int(p >> 32), int(p & 0xffffffff)}
 	}
-	// Prim's MST over the terminal closure.
-	inTree := map[int]bool{terminals[0]: true}
-	type cedge struct{ u, v int }
-	var closure []cedge
-	for len(inTree) < len(terminals) {
-		best := cedge{-1, -1}
-		bestD := -1
-		for t := range inTree {
-			for _, s := range terminals {
-				if inTree[s] {
-					continue
-				}
-				if d := dist[t][s]; d >= 0 && (bestD < 0 || d < bestD) {
-					best, bestD = cedge{t, s}, d
-				}
-			}
-		}
-		if best.u < 0 {
-			panic("heuristics: KMB terminals not connected")
-		}
-		closure = append(closure, best)
-		inTree[best.v] = true
-	}
-	// Expand closure edges into shortest paths; collect subgraph edges.
-	type uedge [2]int
-	sub := make(map[uedge]bool)
-	for _, ce := range closure {
-		p := g.ShortestPath(ce.u, ce.v)
-		for i := 1; i < len(p); i++ {
-			a, b := p[i-1], p[i]
-			if a > b {
-				a, b = b, a
-			}
-			sub[uedge{a, b}] = true
-		}
-	}
-	// Spanning tree of the expanded subgraph (BFS from a terminal).
-	adj := make(map[int][]int)
-	for e := range sub {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
-	}
-	for _, l := range adj {
-		sort.Ints(l)
-	}
-	parent := map[int]int{terminals[0]: -1}
-	queue := []int{terminals[0]}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range adj[u] {
-			if _, seen := parent[v]; !seen {
-				parent[v] = u
-				queue = append(queue, v)
-			}
-		}
-	}
-	tree := make(map[uedge]bool)
-	deg := make(map[int]int)
-	for v, p := range parent {
-		if p < 0 {
-			continue
-		}
-		a, b := v, p
-		if a > b {
-			a, b = b, a
-		}
-		tree[uedge{a, b}] = true
-		deg[a]++
-		deg[b]++
-	}
-	// Prune non-terminal leaves repeatedly.
-	isTerminal := make(map[int]bool, len(terminals))
-	for _, t := range terminals {
-		isTerminal[t] = true
-	}
-	for {
-		removed := false
-		for e := range tree {
-			for _, end := range []int{e[0], e[1]} {
-				if deg[end] == 1 && !isTerminal[end] {
-					delete(tree, e)
-					deg[e[0]]--
-					deg[e[1]]--
-					removed = true
-					break
-				}
-			}
-			if removed {
-				break
-			}
-		}
-		if !removed {
-			break
-		}
-	}
-	out := make([][2]int, 0, len(tree))
-	for e := range tree {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
 	return out
 }
 
@@ -225,8 +299,10 @@ func TopologyGraph(t topology.Topology) *graphx.Graph {
 	for v := topology.NodeID(0); int(v) < t.Nodes(); v++ {
 		buf = t.Neighbors(v, buf[:0])
 		for _, w := range buf {
+			// Each undirected edge is seen from both endpoints; the v < w
+			// guard admits it exactly once, so skip the duplicate scan.
 			if v < w {
-				g.AddEdge(int(v), int(w))
+				g.AddEdgeUnchecked(int(v), int(w))
 			}
 		}
 	}

@@ -1,0 +1,205 @@
+package heuristics
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+var updateHeuristicsBench = flag.Bool("update-heuristics-bench", false,
+	"rewrite ../../BENCH_heuristics.json from this machine's measurements")
+
+type kernelBaseline struct {
+	BeforeNsPerOp     float64 `json:"before_ns_per_op"`
+	BeforeAllocsPerOp int64   `json:"before_allocs_per_op"`
+	AfterNsPerOp      float64 `json:"after_ns_per_op"`
+	AfterAllocsPerOp  int64   `json:"after_allocs_per_op"`
+	Speedup           float64 `json:"speedup"`
+}
+
+type heuristicsBaseline struct {
+	Gomaxprocs       int                       `json:"gomaxprocs"`
+	WorkloadDests    int                       `json:"workload_dests"`
+	WorkloadSetCount int                       `json:"workload_set_count"`
+	Kernels          map[string]kernelBaseline `json:"kernels"`
+}
+
+// TestWriteHeuristicsBenchBaseline regenerates the committed
+// BENCH_heuristics.json when run with -update-heuristics-bench (see the
+// Makefile's bench-heuristics-baseline target). The "before" column
+// reruns the pre-workspace reference implementations kept in
+// golden_ref_test.go, so before and after always come from the same
+// machine. Without the flag it checks that the committed baseline parses
+// and that the zero-allocation claim it records still holds.
+func TestWriteHeuristicsBenchBaseline(t *testing.T) {
+	const path = "../../BENCH_heuristics.json"
+	if !*updateHeuristicsBench {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing baseline (run make bench-heuristics-baseline): %v", err)
+		}
+		var b heuristicsBaseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			t.Fatalf("baseline does not parse: %v", err)
+		}
+		if len(b.Kernels) == 0 {
+			t.Fatal("baseline records no kernels")
+		}
+		for name, k := range b.Kernels {
+			if k.BeforeNsPerOp <= 0 || k.AfterNsPerOp <= 0 {
+				t.Errorf("%s: non-positive timings: %+v", name, k)
+			}
+			if k.AfterAllocsPerOp != 0 {
+				t.Errorf("%s: committed baseline records %d allocs/op; workspace kernels must be zero-alloc",
+					name, k.AfterAllocsPerOp)
+			}
+		}
+		return
+	}
+
+	m := topology.NewMesh2D(16, 16)
+	h := topology.NewHypercube(10)
+	mc, err := labeling.MeshHamiltonCycle(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := labeling.CubeHamiltonCycle(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshSets := benchWorkload(t, m, 10, 64)
+	cubeSets := benchWorkload(t, h, 10, 64)
+	g := TopologyGraph(m)
+	rng := stats.NewRand(1990)
+	terms := make([][]int, 64)
+	for i := range terms {
+		terms[i] = rng.Sample(m.Nodes(), 11)
+	}
+
+	// Each pair below drives the reference and the workspace kernel over
+	// the identical workload; the workspace side warms up before timing.
+	pairs := map[string][2]func(b *testing.B){
+		"greedy_st_mesh16x16": {
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					refGreedyST(m, meshSets[i%len(meshSets)])
+				}
+			},
+			func(b *testing.B) {
+				ws := NewWorkspace()
+				ws.GreedyST(m, meshSets[0])
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ws.GreedyST(m, meshSets[i%len(meshSets)])
+				}
+			},
+		},
+		"greedy_st_cube10": {
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					refGreedyST(h, cubeSets[i%len(cubeSets)])
+				}
+			},
+			func(b *testing.B) {
+				ws := NewWorkspace()
+				ws.GreedyST(h, cubeSets[0])
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ws.GreedyST(h, cubeSets[i%len(cubeSets)])
+				}
+			},
+		},
+		"greedy_st_carried_mesh16x16": {
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					refGreedySTCarried(m, meshSets[i%len(meshSets)])
+				}
+			},
+			func(b *testing.B) {
+				ws := NewWorkspace()
+				ws.GreedySTCarried(m, meshSets[0])
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ws.GreedySTCarried(m, meshSets[i%len(meshSets)])
+				}
+			},
+		},
+		"kmb_mesh16x16": {
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					refKMB(g, terms[i%len(terms)])
+				}
+			},
+			func(b *testing.B) {
+				ws := NewWorkspace()
+				ws.KMB(g, terms[0])
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ws.KMB(g, terms[i%len(terms)])
+				}
+			},
+		},
+		"sorted_mp_mesh16x16": {
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					refSortedMP(m, mc, meshSets[i%len(meshSets)])
+				}
+			},
+			func(b *testing.B) {
+				ws := NewWorkspace()
+				ws.SortedMP(m, mc, meshSets[0])
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ws.SortedMP(m, mc, meshSets[i%len(meshSets)])
+				}
+			},
+		},
+		"sorted_mp_cube10": {
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					refSortedMP(h, hc, cubeSets[i%len(cubeSets)])
+				}
+			},
+			func(b *testing.B) {
+				ws := NewWorkspace()
+				ws.SortedMP(h, hc, cubeSets[0])
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ws.SortedMP(h, hc, cubeSets[i%len(cubeSets)])
+				}
+			},
+		},
+	}
+
+	out := heuristicsBaseline{
+		Gomaxprocs:       runtime.GOMAXPROCS(0),
+		WorkloadDests:    10,
+		WorkloadSetCount: 64,
+		Kernels:          make(map[string]kernelBaseline, len(pairs)),
+	}
+	for name, p := range pairs {
+		before := testing.Benchmark(p[0])
+		after := testing.Benchmark(p[1])
+		out.Kernels[name] = kernelBaseline{
+			BeforeNsPerOp:     float64(before.NsPerOp()),
+			BeforeAllocsPerOp: before.AllocsPerOp(),
+			AfterNsPerOp:      float64(after.NsPerOp()),
+			AfterAllocsPerOp:  after.AllocsPerOp(),
+			Speedup:           float64(before.NsPerOp()) / float64(after.NsPerOp()),
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

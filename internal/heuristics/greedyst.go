@@ -2,7 +2,6 @@ package heuristics
 
 import (
 	"fmt"
-	"sort"
 
 	"multicastnet/internal/core"
 	"multicastnet/internal/topology"
@@ -127,81 +126,49 @@ func (r *STResult) IsTreePattern() bool {
 	return true
 }
 
-// stTree is the contracted Steiner tree built by the greedy ST message
-// routing (Step 3-4 of Fig. 5.4): edges connect tree nodes along shortest
-// path regions of the host graph.
-type stTree struct {
-	edges [][2]topology.NodeID // insertion-ordered for determinism
-	nodes map[topology.NodeID]bool
-}
-
-func (tr *stTree) addEdge(a, b topology.NodeID) {
-	if tr.nodes == nil {
-		tr.nodes = make(map[topology.NodeID]bool)
+// prepareGreedyST fills ws.sorted with the destinations in ascending
+// order of distance from the source, ties broken by node id — the
+// message-preparation step of Fig. 5.3.
+func (ws *Workspace) prepareGreedyST(t topology.Topology, k core.MulticastSet) {
+	ws.keys = ws.keys[:0]
+	for _, d := range k.Dests {
+		ws.keys = append(ws.keys, int64(t.Distance(k.Source, d))<<32|int64(d))
 	}
-	tr.edges = append(tr.edges, [2]topology.NodeID{a, b})
-	tr.nodes[a] = true
-	tr.nodes[b] = true
-}
-
-func (tr *stTree) contains(v topology.NodeID) bool { return tr.nodes[v] }
-
-// adjacency returns the contracted-tree neighbors of v.
-func (tr *stTree) adjacency(v topology.NodeID) []topology.NodeID {
-	var out []topology.NodeID
-	for _, e := range tr.edges {
-		if e[0] == v {
-			out = append(out, e[1])
-		} else if e[1] == v {
-			out = append(out, e[0])
-		}
-	}
-	return out
-}
-
-// subtreeNodes returns all nodes in the subtree containing start when the
-// edge back to parent is removed.
-func (tr *stTree) subtreeNodes(start, parent topology.NodeID) []topology.NodeID {
-	var out []topology.NodeID
-	var rec func(v, from topology.NodeID)
-	rec = func(v, from topology.NodeID) {
-		out = append(out, v)
-		for _, w := range tr.adjacency(v) {
-			if w != from {
-				rec(w, v)
-			}
-		}
-	}
-	rec(start, parent)
-	return out
+	ws.sortPacked()
 }
 
 // GreedySTPrepare is the message-preparation part (Fig. 5.3): sort the
 // destinations in ascending order of distance from the source.
 func GreedySTPrepare(t topology.Topology, k core.MulticastSet) []topology.NodeID {
-	d := make([]topology.NodeID, len(k.Dests))
-	copy(d, k.Dests)
-	sort.SliceStable(d, func(i, j int) bool {
-		di := t.Distance(k.Source, d[i])
-		dj := t.Distance(k.Source, d[j])
-		if di != dj {
-			return di < dj
-		}
-		return d[i] < d[j] // deterministic tie-break; paper allows any order
-	})
-	return d
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.prepareGreedyST(t, k)
+	out := make([]topology.NodeID, len(ws.sorted))
+	copy(out, ws.sorted)
+	return out
 }
 
-// greedySTSplit is the replicate-node computation (Steps 3-5 of Fig. 5.4)
-// at node u with remaining destinations dests (u excluded): it builds the
-// local greedy Steiner tree and returns, for each son r of u, the sublist
-// (r, destinations in r's subtree).
-func greedySTSplit(t RegionTopology, u topology.NodeID, dests []topology.NodeID) [][]topology.NodeID {
-	tr := &stTree{}
-	tr.addEdge(u, dests[0])
+// trAdd appends a contracted-tree edge and marks both ends as tree
+// members in ws.tmp.
+func (ws *Workspace) trAdd(a, b topology.NodeID) {
+	ws.trEdges = append(ws.trEdges, [2]topology.NodeID{a, b})
+	ws.tmp.mark(int32(a))
+	ws.tmp.mark(int32(b))
+}
+
+// buildGreedyTree runs Steps 3-4 of Fig. 5.4: starting from the edge
+// (u, dests[0]), each further destination is attached at the nearest
+// node over all shortest-path regions of current tree edges, splitting
+// the host edge when the attachment point is interior. The contracted
+// tree is left in ws.trEdges (insertion-ordered for determinism), with
+// membership marks in ws.tmp.
+func (ws *Workspace) buildGreedyTree(t RegionTopology, u topology.NodeID, dests []topology.NodeID) {
+	ws.trEdges = ws.trEdges[:0]
+	ws.tmp.reset(ws.nodes)
+	ws.trAdd(u, dests[0])
 	for i := 1; i < len(dests); i++ {
 		ui := dests[i]
-		if tr.contains(ui) {
+		if ws.tmp.has(int32(ui)) {
 			continue // already a tree node (e.g. a Steiner point that is also a destination)
 		}
 		// Step 4(a)-(b): the nearest node to ui over all shortest-path
@@ -211,39 +178,85 @@ func greedySTSplit(t RegionTopology, u topology.NodeID, dests []topology.NodeID)
 			bestEdge int
 			bestD    = -1
 		)
-		for ei, e := range tr.edges {
+		for ei, e := range ws.trEdges {
 			v := t.NearestOnShortestPaths(e[0], e[1], ui)
 			if d := t.Distance(ui, v); bestD < 0 || d < bestD {
 				bestV, bestEdge, bestD = v, ei, d
 			}
 		}
-		e := tr.edges[bestEdge]
+		e := ws.trEdges[bestEdge]
 		if bestV != e[0] && bestV != e[1] {
 			// Step 4(c): split edge (s,t) at v.
-			tr.edges[bestEdge] = [2]topology.NodeID{e[0], bestV}
-			tr.addEdge(bestV, e[1])
+			ws.trEdges[bestEdge] = [2]topology.NodeID{e[0], bestV}
+			ws.trAdd(bestV, e[1])
 		}
 		if ui != bestV {
 			// Step 4(d).
-			tr.addEdge(bestV, ui)
+			ws.trAdd(bestV, ui)
 		}
 	}
-	// Step 5: one sublist per son of u.
-	destSet := make(map[topology.NodeID]bool, len(dests))
-	for _, d := range dests {
-		destSet[d] = true
+}
+
+// collectSons fills ws.sons with the contracted-tree neighbors of u, in
+// edge-insertion order.
+func (ws *Workspace) collectSons(u topology.NodeID) {
+	ws.sons = ws.sons[:0]
+	for _, e := range ws.trEdges {
+		if e[0] == u {
+			ws.sons = append(ws.sons, e[1])
+		} else if e[1] == u {
+			ws.sons = append(ws.sons, e[0])
+		}
 	}
+}
+
+// markSubtree marks (in ws.tmp) every node of the contracted subtree
+// containing start when the edge back to parent is removed. The tree is
+// acyclic, so a visited-marking DFS that seeds parent as visited yields
+// exactly the parent-exclusion membership. Note this resets ws.tmp, so
+// tree-membership marks from buildGreedyTree are consumed.
+func (ws *Workspace) markSubtree(start, parent topology.NodeID) {
+	ws.tmp.reset(ws.nodes)
+	ws.tmp.mark(int32(parent))
+	ws.tmp.mark(int32(start))
+	ws.nstack = append(ws.nstack[:0], start)
+	for len(ws.nstack) > 0 {
+		v := ws.nstack[len(ws.nstack)-1]
+		ws.nstack = ws.nstack[:len(ws.nstack)-1]
+		for _, e := range ws.trEdges {
+			var w topology.NodeID
+			if e[0] == v {
+				w = e[1]
+			} else if e[1] == v {
+				w = e[0]
+			} else {
+				continue
+			}
+			if !ws.tmp.has(int32(w)) {
+				ws.tmp.mark(int32(w))
+				ws.nstack = append(ws.nstack, w)
+			}
+		}
+	}
+}
+
+// greedySTSplit is the replicate-node computation (Steps 3-5 of Fig. 5.4)
+// at node u with remaining destinations dests (u excluded): it builds the
+// local greedy Steiner tree and returns, for each son r of u, the sublist
+// (r, destinations in r's subtree).
+func greedySTSplit(t RegionTopology, u topology.NodeID, dests []topology.NodeID) [][]topology.NodeID {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.ensure(t)
+	ws.buildGreedyTree(t, u, dests)
+	ws.collectSons(u)
 	var out [][]topology.NodeID
-	for _, r := range tr.adjacency(u) {
-		sub := tr.subtreeNodes(r, u)
+	for _, r := range ws.sons {
+		ws.markSubtree(r, u)
 		list := []topology.NodeID{r}
 		// Keep the original sorted order for the carried destinations.
-		inSub := make(map[topology.NodeID]bool, len(sub))
-		for _, v := range sub {
-			inSub[v] = true
-		}
 		for _, d := range dests {
-			if d != r && inSub[d] {
+			if d != r && ws.tmp.has(int32(d)) {
 				list = append(list, d)
 			}
 		}
@@ -260,128 +273,122 @@ func greedySTSplit(t RegionTopology, u topology.NodeID, dests []topology.NodeID)
 // contracted tree edge is realized by a shortest path, so the total
 // traffic is the sum of the contracted edge lengths. This is the variant
 // used for the large Fig. 7.3/7.4 sweeps, where per-hop recomputation
-// (O(k^2) at every replicate node) would dominate.
-func GreedySTCarried(t RegionTopology, k core.MulticastSet) *STResult {
-	res := newSTResult()
-	dests := GreedySTPrepare(t, k)
-	destSet := k.DestSet()
+// (O(k^2) at every replicate node) would dominate. It returns the link
+// traffic; the full pattern stays in the workspace run log.
+func (ws *Workspace) GreedySTCarried(t RegionTopology, k core.MulticastSet) int {
+	router := ws.router(t)
+	ws.begin(t, k)
+	ws.prepareGreedyST(t, k)
 
 	// Build the complete contracted tree at the source.
-	tr := &stTree{}
-	tr.addEdge(k.Source, dests[0])
-	for i := 1; i < len(dests); i++ {
-		ui := dests[i]
-		if tr.contains(ui) {
-			continue
-		}
-		var (
-			bestV    topology.NodeID
-			bestEdge int
-			bestD    = -1
-		)
-		for ei, e := range tr.edges {
-			v := t.NearestOnShortestPaths(e[0], e[1], ui)
-			if d := t.Distance(ui, v); bestD < 0 || d < bestD {
-				bestV, bestEdge, bestD = v, ei, d
-			}
-		}
-		e := tr.edges[bestEdge]
-		if bestV != e[0] && bestV != e[1] {
-			tr.edges[bestEdge] = [2]topology.NodeID{e[0], bestV}
-			tr.addEdge(bestV, e[1])
-		}
-		if ui != bestV {
-			tr.addEdge(bestV, ui)
-		}
-	}
+	ws.buildGreedyTree(t, k.Source, ws.sorted)
 
 	// Walk the contracted tree from the source, realizing each edge by a
 	// shortest path and accounting traffic and delivery depths.
-	if destSet[k.Source] {
-		res.Delivered[k.Source] = 0
-	}
-	type visit struct {
-		node   topology.NodeID
-		parent topology.NodeID
-		depth  int
-	}
-	router, err := core.RouterFor(t)
-	if err != nil {
-		panic(err)
-	}
-	stack := []visit{{node: k.Source, parent: k.Source, depth: 0}}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if destSet[cur.node] {
-			if _, seen := res.Delivered[cur.node]; !seen {
-				res.Delivered[cur.node] = cur.depth
+	ws.deliver(k.Source, 0)
+	ws.stack = append(ws.stack[:0], stVisit{node: k.Source, parent: k.Source, depth: 0})
+	for len(ws.stack) > 0 {
+		cur := ws.stack[len(ws.stack)-1]
+		ws.stack = ws.stack[:len(ws.stack)-1]
+		ws.deliver(cur.node, cur.depth)
+		for _, e := range ws.trEdges {
+			var next topology.NodeID
+			if e[0] == cur.node {
+				next = e[1]
+			} else if e[1] == cur.node {
+				next = e[0]
+			} else {
+				continue
 			}
-		}
-		for _, next := range tr.adjacency(cur.node) {
 			if next == cur.parent {
 				continue // the root's sentinel parent is itself, never adjacent
 			}
-			p := core.UnicastPath(router, cur.node, next)
-			for i := 1; i < len(p); i++ {
-				res.send(p[i-1], p[i])
+			hops := int32(0)
+			for at := cur.node; at != next; {
+				nh := router.NextHopUnicast(at, next)
+				ws.send(at, nh)
+				at = nh
+				hops++
 			}
-			stack = append(stack, visit{node: next, parent: cur.node, depth: cur.depth + len(p) - 1})
+			ws.stack = append(ws.stack, stVisit{node: next, parent: cur.node, depth: cur.depth + hops})
 		}
 	}
-	return res
+	return len(ws.edges)
+}
+
+// GreedySTCarried runs the source-computed greedy ST variant and returns
+// the delivered routing pattern. See Workspace.GreedySTCarried for the
+// allocation-free form.
+func GreedySTCarried(t RegionTopology, k core.MulticastSet) *STResult {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.GreedySTCarried(t, k)
+	return ws.stResult()
 }
 
 // GreedyST runs the greedy ST algorithm of Section 5.2 under distributed
-// execution and returns the delivered routing pattern. Bypass nodes
-// forward the message one hop along a shortest path toward the sublist
-// head using the topology's deterministic unicast router; replicate nodes
-// rebuild the greedy Steiner subtree over their sublist and split it among
-// their sons (Fig. 5.4).
-func GreedyST(t RegionTopology, k core.MulticastSet) *STResult {
-	router, err := core.RouterFor(t)
-	if err != nil {
-		panic(err)
-	}
-	res := newSTResult()
-	destSet := k.DestSet()
+// execution and returns the link traffic (pattern in the workspace run
+// log). Bypass nodes forward the message one hop along a shortest path
+// toward the sublist head using the topology's deterministic unicast
+// router; replicate nodes rebuild the greedy Steiner subtree over their
+// sublist and split it among their sons (Fig. 5.4). Messages carry their
+// destination sublists as immutable segments of the workspace arena.
+func (ws *Workspace) GreedyST(t RegionTopology, k core.MulticastSet) int {
+	router := ws.router(t)
+	ws.begin(t, k)
+	ws.prepareGreedyST(t, k)
 
-	// A message is (current node, hop depth, list) with list[0] the
-	// replicate target.
-	type message struct {
-		at    topology.NodeID
-		depth int
-		list  []topology.NodeID
-	}
-	queue := []message{{at: k.Source, depth: 0, list: append([]topology.NodeID{k.Source}, GreedySTPrepare(t, k)...)}}
-	for len(queue) > 0 {
-		msg := queue[0]
-		queue = queue[1:]
-		u := msg.list[0]
+	// A message is (current node, hop depth, arena segment) with
+	// segment[0] the replicate target.
+	ws.arena = append(ws.arena[:0], k.Source)
+	ws.arena = append(ws.arena, ws.sorted...)
+	ws.msgs = append(ws.msgs[:0], stMsg{at: k.Source, off: 0, n: int32(len(ws.arena))})
+	for head := 0; head < len(ws.msgs); head++ {
+		msg := ws.msgs[head]
+		list := ws.arena[msg.off : msg.off+msg.n]
+		u := list[0]
 		if msg.at != u {
 			// Step 1: bypass node; forward toward u.
 			next := router.NextHopUnicast(msg.at, u)
-			res.send(msg.at, next)
-			queue = append(queue, message{at: next, depth: msg.depth + 1, list: msg.list})
+			ws.send(msg.at, next)
+			ws.msgs = append(ws.msgs, stMsg{at: next, depth: msg.depth + 1, off: msg.off, n: msg.n})
 			continue
 		}
 		// Arrived at the replicate target: deliver if it is a
 		// destination.
-		if destSet[u] {
-			if _, seen := res.Delivered[u]; !seen {
-				res.Delivered[u] = msg.depth
-			}
-		}
-		rest := msg.list[1:]
+		ws.deliver(u, msg.depth)
+		rest := list[1:]
 		if len(rest) == 0 {
 			continue // Step 2
 		}
-		for _, sub := range greedySTSplit(t, u, rest) {
-			r := sub[0]
+		// Steps 3-5: split the remaining list among the sons of u. The
+		// rest slice stays readable even if arena appends below reallocate
+		// (segments are immutable; the old backing array is intact).
+		ws.buildGreedyTree(t, u, rest)
+		ws.collectSons(u)
+		for _, r := range ws.sons {
+			ws.markSubtree(r, u)
+			off := int32(len(ws.arena))
+			ws.arena = append(ws.arena, r)
+			for _, d := range rest {
+				if d != r && ws.tmp.has(int32(d)) {
+					ws.arena = append(ws.arena, d)
+				}
+			}
 			next := router.NextHopUnicast(u, r)
-			res.send(u, next)
-			queue = append(queue, message{at: next, depth: msg.depth + 1, list: sub})
+			ws.send(u, next)
+			ws.msgs = append(ws.msgs, stMsg{at: next, depth: msg.depth + 1, off: off, n: int32(len(ws.arena)) - off})
 		}
 	}
-	return res
+	return len(ws.edges)
+}
+
+// GreedyST runs the greedy ST algorithm of Section 5.2 under distributed
+// execution and returns the delivered routing pattern. See
+// Workspace.GreedyST for the allocation-free form.
+func GreedyST(t RegionTopology, k core.MulticastSet) *STResult {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.GreedyST(t, k)
+	return ws.stResult()
 }

@@ -5,26 +5,38 @@ import (
 	"multicastnet/internal/topology"
 )
 
-// XFirstMT runs the X-first multicast algorithm of Fig. 5.5 on a 2D mesh:
-// the natural multicast extension of XY unicast routing. Every
-// destination is reached along its X-first shortest path; paths sharing a
-// prefix share channels, so the pattern is a multicast tree (Theorem 5.3).
-func XFirstMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
-	res := newSTResult()
-	destSet := k.DestSet()
-
-	type message struct {
-		at    topology.NodeID
-		depth int
-		dests []topology.NodeID
+// dispatch copies bucket bi to the arena tail and enqueues it one hop
+// away at next, logging the transmission. Empty buckets are skipped
+// before any coordinate conversion, exactly as the original forward
+// helpers returned early.
+func (ws *Workspace) dispatch(from topology.NodeID, depth int32, axis trunkAxis, bi int, next topology.NodeID) {
+	b := ws.dir[bi]
+	if len(b) == 0 {
+		return
 	}
-	queue := []message{{at: k.Source, depth: 0, dests: k.Dests}}
-	for len(queue) > 0 {
-		msg := queue[0]
-		queue = queue[1:]
+	off := int32(len(ws.arena))
+	ws.arena = append(ws.arena, b...)
+	ws.send(from, next)
+	ws.msgs = append(ws.msgs, stMsg{at: next, depth: depth + 1, off: off, n: int32(len(b)), axis: axis})
+}
+
+// XFirstMT runs the X-first multicast algorithm of Fig. 5.5 on a 2D
+// mesh: the natural multicast extension of XY unicast routing. Every
+// destination is reached along its X-first shortest path; paths sharing
+// a prefix share channels, so the pattern is a multicast tree
+// (Theorem 5.3). Returns the link traffic; the pattern stays in the
+// workspace run log.
+func (ws *Workspace) XFirstMT(m *topology.Mesh2D, k core.MulticastSet) int {
+	ws.begin(m, k)
+	ws.arena = append(ws.arena[:0], k.Dests...)
+	ws.msgs = append(ws.msgs[:0], stMsg{at: k.Source, off: 0, n: int32(len(ws.arena))})
+	for head := 0; head < len(ws.msgs); head++ {
+		msg := ws.msgs[head]
 		x0, y0 := m.XY(msg.at)
-		var dPlusX, dMinusX, dPlusY, dMinusY []topology.NodeID
-		for _, d := range msg.dests {
+		// Buckets 0..3 = +X, -X, +Y, -Y.
+		dPlusX, dMinusX := ws.dir[0][:0], ws.dir[1][:0]
+		dPlusY, dMinusY := ws.dir[2][:0], ws.dir[3][:0]
+		for _, d := range ws.arena[msg.off : msg.off+msg.n] {
 			x, y := m.XY(d)
 			switch {
 			case x > x0:
@@ -36,27 +48,34 @@ func XFirstMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
 			case y < y0:
 				dMinusY = append(dMinusY, d)
 			default:
-				if destSet[d] {
-					if _, seen := res.Delivered[d]; !seen {
-						res.Delivered[d] = msg.depth
-					}
-				}
+				ws.deliver(d, msg.depth)
 			}
 		}
-		forward := func(dests []topology.NodeID, nx, ny int) {
-			if len(dests) == 0 {
-				return
-			}
-			next := m.ID(nx, ny)
-			res.send(msg.at, next)
-			queue = append(queue, message{at: next, depth: msg.depth + 1, dests: dests})
+		ws.dir[0], ws.dir[1], ws.dir[2], ws.dir[3] = dPlusX, dMinusX, dPlusY, dMinusY
+		if len(dPlusX) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkX, 0, m.ID(x0+1, y0))
 		}
-		forward(dPlusX, x0+1, y0)
-		forward(dMinusX, x0-1, y0)
-		forward(dPlusY, x0, y0+1)
-		forward(dMinusY, x0, y0-1)
+		if len(dMinusX) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkX, 1, m.ID(x0-1, y0))
+		}
+		if len(dPlusY) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkY, 2, m.ID(x0, y0+1))
+		}
+		if len(dMinusY) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkY, 3, m.ID(x0, y0-1))
+		}
 	}
-	return res
+	return len(ws.edges)
+}
+
+// XFirstMT runs the X-first multicast algorithm of Fig. 5.5 on a 2D mesh
+// and returns the delivered routing pattern. See Workspace.XFirstMT for
+// the allocation-free form.
+func XFirstMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.XFirstMT(m, k)
+	return ws.stResult()
 }
 
 // trunkAxis is the one-bit routing control field a divided-greedy message
@@ -82,54 +101,33 @@ const (
 // one-bit routing control field of the hybrid scheme), so groups share a
 // trunk and peel off one destination set per crossing row/column; every
 // delivery is via a shortest path, giving the multicast tree of
-// Theorem 5.4.
-func DividedGreedyMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
-	res := newSTResult()
-	destSet := k.DestSet()
+// Theorem 5.4. Returns the link traffic; pattern in the run log.
+func (ws *Workspace) DividedGreedyMT(m *topology.Mesh2D, k core.MulticastSet) int {
+	ws.begin(m, k)
+	ws.arena = ws.arena[:0]
+	ws.msgs = ws.msgs[:0]
 
-	type message struct {
-		at    topology.NodeID
-		depth int
-		axis  trunkAxis
-		dests []topology.NodeID
-	}
-	var queue []message
-
-	deliver := func(d topology.NodeID, depth int) {
-		if destSet[d] {
-			if _, seen := res.Delivered[d]; !seen {
-				res.Delivered[d] = depth
-			}
-		}
-	}
-	// forward dispatches a group one hop and enqueues the remainder.
-	forward := func(from topology.NodeID, depth int, axis trunkAxis, dests []topology.NodeID, nx, ny int) {
-		if len(dests) == 0 {
-			return
-		}
-		next := m.ID(nx, ny)
-		res.send(from, next)
-		queue = append(queue, message{at: next, depth: depth + 1, axis: axis, dests: dests})
-	}
-
-	// Source-node division (Steps 3-5 of Fig. 5.6).
+	// Source-node division (Steps 3-5 of Fig. 5.6). Buckets 0..3 are the
+	// four axis directions, 4..7 the quadrant subsets S_ix, 8..11 S_iy
+	// (quadrants 0=NE 1=NW 2=SW 3=SE).
 	x0, y0 := m.XY(k.Source)
-	var dPlusX, dMinusX, dPlusY, dMinusY []topology.NodeID
-	var sx, sy [4][]topology.NodeID // quadrant subsets, 0=NE 1=NW 2=SW 3=SE
+	for i := range ws.dir {
+		ws.dir[i] = ws.dir[i][:0]
+	}
 	for _, d := range k.Dests {
 		x, y := m.XY(d)
 		dx, dy := x-x0, y-y0
 		switch {
 		case dx == 0 && dy == 0:
-			deliver(d, 0)
+			ws.deliver(d, 0)
 		case dy == 0 && dx > 0:
-			dPlusX = append(dPlusX, d)
+			ws.dir[0] = append(ws.dir[0], d)
 		case dy == 0 && dx < 0:
-			dMinusX = append(dMinusX, d)
+			ws.dir[1] = append(ws.dir[1], d)
 		case dx == 0 && dy > 0:
-			dPlusY = append(dPlusY, d)
+			ws.dir[2] = append(ws.dir[2], d)
 		case dx == 0 && dy < 0:
-			dMinusY = append(dMinusY, d)
+			ws.dir[3] = append(ws.dir[3], d)
 		default:
 			var q int
 			switch {
@@ -143,48 +141,58 @@ func DividedGreedyMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
 				q = 3
 			}
 			if abs(dx) >= abs(dy) {
-				sx[q] = append(sx[q], d)
+				ws.dir[4+q] = append(ws.dir[4+q], d)
 			} else {
-				sy[q] = append(sy[q], d)
+				ws.dir[8+q] = append(ws.dir[8+q], d)
 			}
 		}
 	}
-	pairX := func(a, b int) []topology.NodeID {
+	// pairX: feed both x-leaning quadrant subsets to the X direction when
+	// both are nonempty; otherwise reroute the lone one through its
+	// quadrant's Y direction.
+	pairX := func(dst, a, b int) {
 		switch {
-		case len(sx[a]) > 0 && len(sx[b]) > 0:
-			return append(append([]topology.NodeID{}, sx[a]...), sx[b]...)
-		case len(sx[a]) > 0:
-			sy[a] = append(sy[a], sx[a]...)
-			return nil
-		case len(sx[b]) > 0:
-			sy[b] = append(sy[b], sx[b]...)
-			return nil
-		default:
-			return nil
+		case len(ws.dir[4+a]) > 0 && len(ws.dir[4+b]) > 0:
+			ws.dir[dst] = append(ws.dir[dst], ws.dir[4+a]...)
+			ws.dir[dst] = append(ws.dir[dst], ws.dir[4+b]...)
+		case len(ws.dir[4+a]) > 0:
+			ws.dir[8+a] = append(ws.dir[8+a], ws.dir[4+a]...)
+		case len(ws.dir[4+b]) > 0:
+			ws.dir[8+b] = append(ws.dir[8+b], ws.dir[4+b]...)
 		}
 	}
-	dPlusX = append(dPlusX, pairX(0, 3)...)
-	dMinusX = append(dMinusX, pairX(1, 2)...)
-	dPlusY = append(append(dPlusY, sy[0]...), sy[1]...)
-	dMinusY = append(append(dMinusY, sy[2]...), sy[3]...)
-	forward(k.Source, 0, trunkX, dPlusX, x0+1, y0)
-	forward(k.Source, 0, trunkX, dMinusX, x0-1, y0)
-	forward(k.Source, 0, trunkY, dPlusY, x0, y0+1)
-	forward(k.Source, 0, trunkY, dMinusY, x0, y0-1)
+	pairX(0, 0, 3)
+	pairX(1, 1, 2)
+	ws.dir[2] = append(ws.dir[2], ws.dir[8]...)
+	ws.dir[2] = append(ws.dir[2], ws.dir[9]...)
+	ws.dir[3] = append(ws.dir[3], ws.dir[10]...)
+	ws.dir[3] = append(ws.dir[3], ws.dir[11]...)
+	if len(ws.dir[0]) > 0 {
+		ws.dispatch(k.Source, 0, trunkX, 0, m.ID(x0+1, y0))
+	}
+	if len(ws.dir[1]) > 0 {
+		ws.dispatch(k.Source, 0, trunkX, 1, m.ID(x0-1, y0))
+	}
+	if len(ws.dir[2]) > 0 {
+		ws.dispatch(k.Source, 0, trunkY, 2, m.ID(x0, y0+1))
+	}
+	if len(ws.dir[3]) > 0 {
+		ws.dispatch(k.Source, 0, trunkY, 3, m.ID(x0, y0-1))
+	}
 
 	// Trunk routing at forward nodes: advance the trunk dimension, peel
 	// destinations whose trunk coordinate matches into cross groups.
-	for len(queue) > 0 {
-		msg := queue[0]
-		queue = queue[1:]
+	// Buckets 0..2 = onward, crossPlus, crossMinus.
+	for head := 0; head < len(ws.msgs); head++ {
+		msg := ws.msgs[head]
 		cx, cy := m.XY(msg.at)
-		var onward, crossPlus, crossMinus []topology.NodeID
-		for _, d := range msg.dests {
+		onward, crossPlus, crossMinus := ws.dir[0][:0], ws.dir[1][:0], ws.dir[2][:0]
+		for _, d := range ws.arena[msg.off : msg.off+msg.n] {
 			x, y := m.XY(d)
 			if msg.axis == trunkX {
 				switch {
 				case x == cx && y == cy:
-					deliver(d, msg.depth)
+					ws.deliver(d, msg.depth)
 				case x == cx && y > cy:
 					crossPlus = append(crossPlus, d)
 				case x == cx && y < cy:
@@ -195,7 +203,7 @@ func DividedGreedyMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
 			} else {
 				switch {
 				case x == cx && y == cy:
-					deliver(d, msg.depth)
+					ws.deliver(d, msg.depth)
 				case y == cy && x > cx:
 					crossPlus = append(crossPlus, d)
 				case y == cy && x < cx:
@@ -205,33 +213,52 @@ func DividedGreedyMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
 				}
 			}
 		}
+		ws.dir[0], ws.dir[1], ws.dir[2] = onward, crossPlus, crossMinus
 		if msg.axis == trunkX {
-			forward(msg.at, msg.depth, trunkY, crossPlus, cx, cy+1)
-			forward(msg.at, msg.depth, trunkY, crossMinus, cx, cy-1)
+			if len(crossPlus) > 0 {
+				ws.dispatch(msg.at, msg.depth, trunkY, 1, m.ID(cx, cy+1))
+			}
+			if len(crossMinus) > 0 {
+				ws.dispatch(msg.at, msg.depth, trunkY, 2, m.ID(cx, cy-1))
+			}
 			if len(onward) > 0 {
 				// All onward destinations lie strictly on one side of
 				// this column: the trunk was dispatched toward them.
 				ox, _ := m.XY(onward[0])
 				if ox > cx {
-					forward(msg.at, msg.depth, trunkX, onward, cx+1, cy)
+					ws.dispatch(msg.at, msg.depth, trunkX, 0, m.ID(cx+1, cy))
 				} else {
-					forward(msg.at, msg.depth, trunkX, onward, cx-1, cy)
+					ws.dispatch(msg.at, msg.depth, trunkX, 0, m.ID(cx-1, cy))
 				}
 			}
 		} else {
-			forward(msg.at, msg.depth, trunkX, crossPlus, cx+1, cy)
-			forward(msg.at, msg.depth, trunkX, crossMinus, cx-1, cy)
+			if len(crossPlus) > 0 {
+				ws.dispatch(msg.at, msg.depth, trunkX, 1, m.ID(cx+1, cy))
+			}
+			if len(crossMinus) > 0 {
+				ws.dispatch(msg.at, msg.depth, trunkX, 2, m.ID(cx-1, cy))
+			}
 			if len(onward) > 0 {
 				_, oy := m.XY(onward[0])
 				if oy > cy {
-					forward(msg.at, msg.depth, trunkY, onward, cx, cy+1)
+					ws.dispatch(msg.at, msg.depth, trunkY, 0, m.ID(cx, cy+1))
 				} else {
-					forward(msg.at, msg.depth, trunkY, onward, cx, cy-1)
+					ws.dispatch(msg.at, msg.depth, trunkY, 0, m.ID(cx, cy-1))
 				}
 			}
 		}
 	}
-	return res
+	return len(ws.edges)
+}
+
+// DividedGreedyMT runs the divided greedy multicast algorithm of
+// Fig. 5.6 on a 2D mesh and returns the delivered routing pattern. See
+// Workspace.DividedGreedyMT for the allocation-free form.
+func DividedGreedyMT(m *topology.Mesh2D, k core.MulticastSet) *STResult {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.DividedGreedyMT(m, k)
+	return ws.stResult()
 }
 
 func abs(a int) int {
@@ -244,73 +271,67 @@ func abs(a int) int {
 // XYZFirstMT extends the X-first multicast tree to the 3D mesh of
 // Section 4.3: destinations are resolved dimension by dimension (X, then
 // Y, then Z), sharing channel prefixes, so every destination is reached
-// along its dimension-ordered shortest path.
-func XYZFirstMT(m *topology.Mesh3D, k core.MulticastSet) *STResult {
-	res := newSTResult()
-	destSet := k.DestSet()
-
-	type message struct {
-		at    topology.NodeID
-		depth int
-		dests []topology.NodeID
-	}
-	queue := []message{{at: k.Source, depth: 0, dests: k.Dests}}
-	for len(queue) > 0 {
-		msg := queue[0]
-		queue = queue[1:]
+// along its dimension-ordered shortest path. Returns the link traffic;
+// pattern in the run log.
+func (ws *Workspace) XYZFirstMT(m *topology.Mesh3D, k core.MulticastSet) int {
+	ws.begin(m, k)
+	ws.arena = append(ws.arena[:0], k.Dests...)
+	ws.msgs = append(ws.msgs[:0], stMsg{at: k.Source, off: 0, n: int32(len(ws.arena))})
+	for head := 0; head < len(ws.msgs); head++ {
+		msg := ws.msgs[head]
 		x0, y0, z0 := m.XYZ(msg.at)
-		// Six direction buckets, resolved in fixed X, Y, Z order for
-		// deterministic patterns.
-		var buckets [6][]topology.NodeID
-		for _, d := range msg.dests {
+		// Six direction buckets 0..5 = +X, -X, +Y, -Y, +Z, -Z, resolved
+		// in fixed X, Y, Z order for deterministic patterns.
+		for i := 0; i < 6; i++ {
+			ws.dir[i] = ws.dir[i][:0]
+		}
+		for _, d := range ws.arena[msg.off : msg.off+msg.n] {
 			x, y, z := m.XYZ(d)
 			switch {
 			case x > x0:
-				buckets[0] = append(buckets[0], d)
+				ws.dir[0] = append(ws.dir[0], d)
 			case x < x0:
-				buckets[1] = append(buckets[1], d)
+				ws.dir[1] = append(ws.dir[1], d)
 			case y > y0:
-				buckets[2] = append(buckets[2], d)
+				ws.dir[2] = append(ws.dir[2], d)
 			case y < y0:
-				buckets[3] = append(buckets[3], d)
+				ws.dir[3] = append(ws.dir[3], d)
 			case z > z0:
-				buckets[4] = append(buckets[4], d)
+				ws.dir[4] = append(ws.dir[4], d)
 			case z < z0:
-				buckets[5] = append(buckets[5], d)
+				ws.dir[5] = append(ws.dir[5], d)
 			default:
-				if destSet[d] {
-					if _, seen := res.Delivered[d]; !seen {
-						res.Delivered[d] = msg.depth
-					}
-				}
+				ws.deliver(d, msg.depth)
 			}
 		}
-		hops := [6]topology.NodeID{}
-		if x0 < m.Width-1 {
-			hops[0] = m.ID(x0+1, y0, z0)
+		if len(ws.dir[0]) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkX, 0, m.ID(x0+1, y0, z0))
 		}
-		if x0 > 0 {
-			hops[1] = m.ID(x0-1, y0, z0)
+		if len(ws.dir[1]) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkX, 1, m.ID(x0-1, y0, z0))
 		}
-		if y0 < m.Height-1 {
-			hops[2] = m.ID(x0, y0+1, z0)
+		if len(ws.dir[2]) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkX, 2, m.ID(x0, y0+1, z0))
 		}
-		if y0 > 0 {
-			hops[3] = m.ID(x0, y0-1, z0)
+		if len(ws.dir[3]) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkX, 3, m.ID(x0, y0-1, z0))
 		}
-		if z0 < m.Depth-1 {
-			hops[4] = m.ID(x0, y0, z0+1)
+		if len(ws.dir[4]) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkX, 4, m.ID(x0, y0, z0+1))
 		}
-		if z0 > 0 {
-			hops[5] = m.ID(x0, y0, z0-1)
-		}
-		for i, dests := range buckets {
-			if len(dests) == 0 {
-				continue
-			}
-			res.send(msg.at, hops[i])
-			queue = append(queue, message{at: hops[i], depth: msg.depth + 1, dests: dests})
+		if len(ws.dir[5]) > 0 {
+			ws.dispatch(msg.at, msg.depth, trunkX, 5, m.ID(x0, y0, z0-1))
 		}
 	}
-	return res
+	return len(ws.edges)
+}
+
+// XYZFirstMT extends the X-first multicast tree to the 3D mesh of
+// Section 4.3 and returns the delivered routing pattern. See
+// Workspace.XYZFirstMT for the allocation-free form.
+func XYZFirstMT(m *topology.Mesh3D, k core.MulticastSet) *STResult {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.XYZFirstMT(m, k)
+	return ws.stResult()
 }

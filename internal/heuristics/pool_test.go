@@ -1,0 +1,85 @@
+package heuristics
+
+import (
+	"sync"
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/labeling"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// TestWorkspacePoolConcurrent hammers the sync.Pool-backed exported
+// wrappers from many goroutines, mixing topologies so recycled
+// workspaces are constantly resized and retargeted. Every call is
+// checked against a serially precomputed answer; run under -race this
+// also proves the pool hands no workspace to two goroutines at once.
+func TestWorkspacePoolConcurrent(t *testing.T) {
+	m := topology.NewMesh2D(16, 16)
+	h := topology.NewHypercube(8)
+	m3 := topology.NewMesh3D(4, 4, 4)
+	c, err := labeling.MeshHamiltonCycle(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := TopologyGraph(topology.NewMesh2D(8, 8))
+
+	rng := stats.NewRand(29)
+	const trials = 64
+	meshSets := make([]core.MulticastSet, trials)
+	cubeSets := make([]core.MulticastSet, trials)
+	mesh3Sets := make([]core.MulticastSet, trials)
+	terms := make([][]int, trials)
+	type expect struct{ mp, st, carried, xf, dg, xyz, len, kmb int }
+	want := make([]expect, trials)
+	for i := 0; i < trials; i++ {
+		meshSets[i] = randomGolden(t, rng, m, 24)
+		cubeSets[i] = randomGolden(t, rng, h, 24)
+		mesh3Sets[i] = randomGolden(t, rng, m3, 16)
+		terms[i] = rng.Sample(64, 2+rng.Intn(10))
+		want[i] = expect{
+			mp:      SortedMP(m, c, meshSets[i]).Traffic(),
+			st:      GreedyST(m, meshSets[i]).Links,
+			carried: GreedySTCarried(m, meshSets[i]).Links,
+			xf:      XFirstMT(m, meshSets[i]).Links,
+			dg:      DividedGreedyMT(m, meshSets[i]).Links,
+			xyz:     XYZFirstMT(m3, mesh3Sets[i]).Links,
+			len:     LEN(h, cubeSets[i]).Links,
+			kmb:     len(KMB(g, terms[i])),
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 16; rep++ {
+				i := (w*17 + rep*5) % trials
+				checks := []struct {
+					name string
+					got  int
+					want int
+				}{
+					{"sorted MP", SortedMP(m, c, meshSets[i]).Traffic(), want[i].mp},
+					{"greedy ST", GreedyST(m, meshSets[i]).Links, want[i].st},
+					{"greedy ST carried", GreedySTCarried(m, meshSets[i]).Links, want[i].carried},
+					{"X-first", XFirstMT(m, meshSets[i]).Links, want[i].xf},
+					{"divided greedy", DividedGreedyMT(m, meshSets[i]).Links, want[i].dg},
+					{"XYZ-first", XYZFirstMT(m3, mesh3Sets[i]).Links, want[i].xyz},
+					{"LEN", LEN(h, cubeSets[i]).Links, want[i].len},
+					{"KMB", len(KMB(g, terms[i])), want[i].kmb},
+				}
+				for _, c := range checks {
+					if c.got != c.want {
+						t.Errorf("worker %d trial %d: %s = %d, want %d", w, i, c.name, c.got, c.want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

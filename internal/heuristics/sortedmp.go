@@ -10,87 +10,116 @@
 // field carried in the message header, and a message-routing step executed
 // at every forward node decides the next hop(s). The package drives the
 // per-node steps to completion and returns the resulting route object.
+//
+// Every kernel exists in two forms: a zero-allocation method on
+// Workspace (the hot path of the Chapter 7 static study) and an
+// exported convenience function with the original signature, which
+// borrows a pooled workspace and materializes the original result type.
 package heuristics
 
 import (
-	"sort"
+	"slices"
 
 	"multicastnet/internal/core"
 	"multicastnet/internal/labeling"
 	"multicastnet/internal/topology"
 )
 
+// sortPacked sorts ws.keys (each packed key<<32 | id) and unpacks the
+// ids into ws.sorted. Keys are injective over nodes (true for both the
+// cycle key f and the (distance, id) pair), so sorting the packed values
+// reproduces the comparison-sort order of the original implementations
+// exactly, without sort.Slice's closure allocation.
+func (ws *Workspace) sortPacked() {
+	slices.Sort(ws.keys)
+	ws.sorted = ws.sorted[:0]
+	for _, p := range ws.keys {
+		ws.sorted = append(ws.sorted, topology.NodeID(p&0xffffffff))
+	}
+}
+
+// prepareSortedMP fills ws.sorted with the destinations in ascending
+// cycle-key order (the message-preparation step of Fig. 5.1).
+func (ws *Workspace) prepareSortedMP(c *labeling.HamiltonCycle, k core.MulticastSet) {
+	ws.keys = ws.keys[:0]
+	for _, d := range k.Dests {
+		ws.keys = append(ws.keys, int64(c.SortKey(k.Source, d))<<32|int64(d))
+	}
+	ws.sortPacked()
+}
+
 // SortedMPPrepare is the message-preparation part of the sorted MP
 // algorithm (Fig. 5.1): it returns the destination list sorted in
 // ascending order of the cycle key f.
 func SortedMPPrepare(c *labeling.HamiltonCycle, k core.MulticastSet) []topology.NodeID {
-	d := make([]topology.NodeID, len(k.Dests))
-	copy(d, k.Dests)
-	sort.Slice(d, func(i, j int) bool {
-		return c.SortKey(k.Source, d[i]) < c.SortKey(k.Source, d[j])
-	})
-	return d
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.prepareSortedMP(c, k)
+	out := make([]topology.NodeID, len(ws.sorted))
+	copy(out, ws.sorted)
+	return out
 }
 
-// sortedMPStep is the message-routing part (Fig. 5.2) executed at node w:
-// given the remaining sorted destination list, it pops w if w is the next
-// destination, then selects the neighbor with the greatest key f not
-// exceeding f(d) for the next destination d. It returns the (possibly
-// shortened) list and the next hop; done is true when the list is empty.
-func sortedMPStep(t topology.Topology, c *labeling.HamiltonCycle, u0 topology.NodeID,
-	w topology.NodeID, dests []topology.NodeID) (next topology.NodeID, rest []topology.NodeID, done bool) {
-
-	rest = dests
-	if len(rest) > 0 && rest[0] == w {
-		rest = rest[1:] // deliver to the local node
-	}
-	if len(rest) == 0 {
-		return 0, nil, true
-	}
-	fd := c.SortKey(u0, rest[0])
-	var (
-		best  topology.NodeID
-		bestF = -1
-	)
-	var buf [32]topology.NodeID
-	for _, p := range t.Neighbors(w, buf[:0]) {
-		if fp := c.SortKey(u0, p); fp <= fd && fp > bestF {
-			best, bestF = p, fp
+// SortedMP runs the sorted MP algorithm of Section 5.1 (Figs. 5.1/5.2)
+// and returns the traffic of the resulting multicast path, which is left
+// in ws.path until the next kernel call. By Theorem 5.1 the key f
+// strictly increases along the route, so the path is simple and visits
+// the destinations in sorted order.
+func (ws *Workspace) SortedMP(t topology.Topology, c *labeling.HamiltonCycle, k core.MulticastSet) int {
+	ws.ensure(t)
+	ws.prepareSortedMP(c, k)
+	dests := ws.sorted
+	w := k.Source
+	ws.path = append(ws.path[:0], w)
+	for {
+		// Message-routing step (Fig. 5.2) at node w: pop w if it is the
+		// next destination, then take the neighbor with the greatest key
+		// not exceeding f(d) for the next destination d.
+		if len(dests) > 0 && dests[0] == w {
+			dests = dests[1:] // deliver to the local node
 		}
+		if len(dests) == 0 {
+			return len(ws.path) - 1
+		}
+		fd := c.SortKey(k.Source, dests[0])
+		var (
+			best  topology.NodeID
+			bestF = -1
+		)
+		for _, p := range t.Neighbors(w, ws.nbuf[:0]) {
+			if fp := c.SortKey(k.Source, p); fp <= fd && fp > bestF {
+				best, bestF = p, fp
+			}
+		}
+		if bestF < 0 {
+			// Impossible by Fact 2 of Theorem 5.1 (the cycle successor of
+			// w always qualifies); guard against a corrupted cycle.
+			panic("heuristics: sorted MP routing stuck")
+		}
+		w = best
+		ws.path = append(ws.path, w)
 	}
-	if bestF < 0 {
-		// Impossible by Fact 2 of Theorem 5.1 (the cycle successor of w
-		// always qualifies); guard against a corrupted cycle.
-		panic("heuristics: sorted MP routing stuck")
-	}
-	return best, rest, false
 }
 
 // SortedMP runs the sorted MP algorithm of Section 5.1 and returns the
-// multicast path. By Theorem 5.1 the visited edges induce an MP for k:
-// the key f strictly increases along the route, so the path is simple and
-// visits the destinations in sorted order.
+// multicast path. See Workspace.SortedMP for the allocation-free form.
 func SortedMP(t topology.Topology, c *labeling.HamiltonCycle, k core.MulticastSet) core.Path {
-	dests := SortedMPPrepare(c, k)
-	w := k.Source
-	path := core.Path{Nodes: []topology.NodeID{w}}
-	for {
-		next, rest, done := sortedMPStep(t, c, k.Source, w, dests)
-		if done {
-			return path
-		}
-		dests = rest
-		w = next
-		path.Nodes = append(path.Nodes, w)
-	}
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.SortedMP(t, c, k)
+	nodes := make([]topology.NodeID, len(ws.path))
+	copy(nodes, ws.path)
+	return core.Path{Nodes: nodes}
 }
 
-// SortedMC runs the sorted MC variant of Section 5.1: after the last
-// destination the message continues around the Hamilton cycle back to the
-// source, giving the source a collective acknowledgement (Definition 3.2).
-// The source is treated as a final destination with key m + h(u0).
-func SortedMC(t topology.Topology, c *labeling.HamiltonCycle, k core.MulticastSet) core.Cycle {
-	p := SortedMP(t, c, k)
+// SortedMC runs the sorted MC variant of Section 5.1 and returns the
+// traffic of the multicast cycle (left in ws.path, the closing edge back
+// to the source implicit): after the last destination the message
+// continues around the Hamilton cycle back to the source, giving the
+// source a collective acknowledgement (Definition 3.2). The source is
+// treated as a final destination with key m + h(u0).
+func (ws *Workspace) SortedMC(t topology.Topology, c *labeling.HamiltonCycle, k core.MulticastSet) int {
+	ws.SortedMP(t, c, k)
 	m := c.Len()
 	u0 := k.Source
 	keyBound := m + c.H(u0)
@@ -100,27 +129,39 @@ func SortedMC(t topology.Topology, c *labeling.HamiltonCycle, k core.MulticastSe
 		}
 		return c.SortKey(u0, x)
 	}
-	w := p.Nodes[len(p.Nodes)-1]
-	nodes := p.Nodes
+	w := ws.path[len(ws.path)-1]
 	guard := 0
 	for w != u0 {
 		var (
 			best  topology.NodeID
 			bestF = -1
 		)
-		var buf [32]topology.NodeID
-		for _, q := range t.Neighbors(w, buf[:0]) {
+		for _, q := range t.Neighbors(w, ws.nbuf[:0]) {
 			if fq := key(q); fq <= keyBound && fq > bestF {
 				best, bestF = q, fq
 			}
 		}
 		w = best
 		if w != u0 {
-			nodes = append(nodes, w)
+			ws.path = append(ws.path, w)
 		}
 		if guard++; guard > m+1 {
 			panic("heuristics: sorted MC failed to close")
 		}
 	}
+	if len(ws.path) < 2 {
+		return 0
+	}
+	return len(ws.path)
+}
+
+// SortedMC runs the sorted MC variant of Section 5.1. See
+// Workspace.SortedMC for the allocation-free form.
+func SortedMC(t topology.Topology, c *labeling.HamiltonCycle, k core.MulticastSet) core.Cycle {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.SortedMC(t, c, k)
+	nodes := make([]topology.NodeID, len(ws.path))
+	copy(nodes, ws.path)
 	return core.Cycle{Nodes: nodes}
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"multicastnet/internal/core"
+	"multicastnet/internal/heuristics"
 	"multicastnet/internal/routing"
 	"multicastnet/internal/topology"
 )
@@ -344,6 +345,34 @@ func (s *Service) ReduceBroadcast(root topology.NodeID, g Group, bytes int) (Cos
 		LatencyMicros:   red.LatencyMicros + bc.LatencyMicros,
 		Messages:        red.Messages + bc.Messages,
 	}, nil
+}
+
+// SteinerEstimate returns the channel traffic of routing one message from
+// source to the group over the greedy Steiner tree of Section 5.2 — the
+// near-optimal (but not deadlock-free) lower reference against which the
+// service's path-based Multicast cost can be compared. The topology must
+// support shortest-path regions (the paper's meshes and hypercubes all
+// do). Each call borrows a pooled heuristics workspace, so concurrent
+// requests are safe and steady-state calls allocate only the destination
+// list.
+func (s *Service) SteinerEstimate(source topology.NodeID, g Group) (int, error) {
+	rt, ok := s.cfg.Topology.(heuristics.RegionTopology)
+	if !ok {
+		return 0, fmt.Errorf("mcastsvc: topology %T does not support Steiner estimates", s.cfg.Topology)
+	}
+	dests := make([]topology.NodeID, 0, g.Size())
+	for _, m := range g.members {
+		if m != source {
+			dests = append(dests, m)
+		}
+	}
+	k, err := core.NewMulticastSet(s.cfg.Topology, source, dests)
+	if err != nil {
+		return 0, err
+	}
+	ws := heuristics.AcquireWorkspace()
+	defer heuristics.ReleaseWorkspace(ws)
+	return ws.GreedySTCarried(rt, k), nil
 }
 
 func maxInt(a, b int) int {
