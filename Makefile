@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-baseline bench-routing-baseline bench-heuristics-baseline results
+.PHONY: check fmt vet build test race bench bench-baseline bench-routing-baseline bench-heuristics-baseline results fuzz check-fault
 
 ## check: everything CI runs — format, vet, build, race tests, quick benchmarks
 check: fmt vet build race bench
@@ -40,6 +40,18 @@ bench-routing-baseline:
 bench-heuristics-baseline:
 	$(GO) test -run TestWriteHeuristicsBenchBaseline -update-heuristics-bench ./internal/heuristics
 
+## fuzz: 30-second smoke of every fuzz target (healthy routing invariants + fault-mask CDG acyclicity)
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzPlan -fuzztime 30s ./internal/routing
+	$(GO) test -run '^$$' -fuzz FuzzFaultMaskCDG -fuzztime 30s ./internal/fault
+
+## check-fault: the fault-injection acceptance suite — masked-CDG acyclicity for every scheme, degraded routing, mid-run kill semantics, retry accounting, exact-vs-heuristic bounds on faulty meshes, and the mcfault parallel determinism contract
+check-fault:
+	$(GO) test ./internal/fault ./internal/wormsim ./internal/mcastsvc
+	$(GO) test -run 'TestFaultFigures' ./internal/experiments
+	$(GO) test -run 'TestKMBVsExactOnFaultyMeshes' ./internal/opt
+
 ## results: regenerate every table and figure at full fidelity
 results:
 	$(GO) run ./cmd/mcfigures -out results
+	$(GO) run ./cmd/mcfault -out results

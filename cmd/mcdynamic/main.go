@@ -31,6 +31,7 @@ func main() {
 	listSchemes := flag.Bool("list-schemes", false, "list the routing-engine schemes and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	simcheck := flag.Bool("simcheck", false, "run wormsim invariant checks inside every simulation")
 	flag.Parse()
 
 	if *listSchemes {
@@ -53,6 +54,7 @@ func main() {
 		opts.MaxCycles = *maxCycles
 	}
 	opts.Parallel = *parallel
+	opts.Check = *simcheck
 
 	figs := map[string]func(experiments.DynamicOptions) *stats.Figure{
 		"7.8":  experiments.Fig78LatencyVsLoadDouble,

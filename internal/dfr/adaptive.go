@@ -93,10 +93,14 @@ func adaptiveRouteThrough(t topology.Topology, l labeling.Labeling, start topolo
 	nodes := []topology.NodeID{start}
 	cur := start
 	for _, d := range dests {
+		guard := 0
 		for cur != d {
 			next := AdaptiveNextHop(t, l, cur, d, class, oracle)
 			nodes = append(nodes, next)
 			cur = next
+			if guard++; guard > t.Nodes()+1 {
+				panic("dfr: adaptive routing failed to converge")
+			}
 		}
 	}
 	return nodes

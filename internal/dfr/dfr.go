@@ -40,13 +40,28 @@ type PathRoute struct {
 	Nodes []topology.NodeID
 	Class int
 	Dests []topology.NodeID
+	// Classes, when non-nil, assigns a channel class per hop
+	// (len(Nodes)-1 entries) and overrides Class. Degraded-mode repair
+	// paths use it to escalate the class at each direction reversal so a
+	// single worm can cross subnetwork boundaries without creating
+	// channel-dependency cycles (see internal/fault).
+	Classes []int
+}
+
+// HopClass returns the channel class of hop i (the channel from Nodes[i]
+// to Nodes[i+1]).
+func (p PathRoute) HopClass(i int) int {
+	if p.Classes != nil {
+		return p.Classes[i]
+	}
+	return p.Class
 }
 
 // Channels returns the channel sequence of the path.
 func (p PathRoute) Channels() []Channel {
 	out := make([]Channel, 0, len(p.Nodes)-1)
 	for i := 1; i < len(p.Nodes); i++ {
-		out = append(out, Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.Class})
+		out = append(out, Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.HopClass(i - 1)})
 	}
 	return out
 }
@@ -220,6 +235,15 @@ func FixedPath(t topology.Topology, l labeling.Labeling, k core.MulticastSet) St
 // column, the neighbor in the next row serves the rest — and D_L
 // symmetrically, giving up to four label-monotone paths.
 func MultiPathMesh(m *topology.Mesh2D, l labeling.Labeling, k core.MulticastSet) Star {
+	return MultiPathMeshOn(m, m, l, k)
+}
+
+// MultiPathMeshOn is MultiPathMesh with the routed topology decoupled
+// from the coordinate mesh: t supplies adjacency and distances (it may be
+// a topology.Masked view of m, so degraded-mode routing can run the
+// multi-path split over a faulty mesh), m supplies the (x, y) geometry of
+// the split rule.
+func MultiPathMeshOn(t topology.Topology, m *topology.Mesh2D, l labeling.Labeling, k core.MulticastSet) Star {
 	dh, dl := HighLowPartition(l, k)
 	s := Star{Source: k.Source}
 	x0, _ := m.XY(k.Source)
@@ -233,7 +257,7 @@ func MultiPathMesh(m *topology.Mesh2D, l labeling.Labeling, k core.MulticastSet)
 		hasHoriz := false
 		var buf [4]topology.NodeID
 		_, y0 := m.XY(k.Source)
-		for _, p := range m.Neighbors(k.Source, buf[:0]) {
+		for _, p := range t.Neighbors(k.Source, buf[:0]) {
 			_, py := m.XY(p)
 			if py != y0 {
 				continue
@@ -265,10 +289,10 @@ func MultiPathMesh(m *topology.Mesh2D, l labeling.Labeling, k core.MulticastSet)
 		return out
 	}
 	for _, g := range split(dh, true) {
-		s.Paths = append(s.Paths, PathRoute{Nodes: routeThrough(m, l, k.Source, g), Dests: g})
+		s.Paths = append(s.Paths, PathRoute{Nodes: routeThrough(t, l, k.Source, g), Dests: g})
 	}
 	for _, g := range split(dl, false) {
-		s.Paths = append(s.Paths, PathRoute{Nodes: routeThrough(m, l, k.Source, g), Dests: g})
+		s.Paths = append(s.Paths, PathRoute{Nodes: routeThrough(t, l, k.Source, g), Dests: g})
 	}
 	return s
 }
@@ -279,12 +303,20 @@ func MultiPathMesh(m *topology.Mesh2D, l labeling.Labeling, k core.MulticastSet)
 // D_Hi = {w : l(v_i) <= l(w) < l(v_{i+1})}, each submulticast taking its
 // first hop to v_i; D_L symmetrically among the lower-labeled neighbors.
 func MultiPathCube(h *topology.Hypercube, l labeling.Labeling, k core.MulticastSet) Star {
+	return MultiPathCubeOn(h, h, l, k)
+}
+
+// MultiPathCubeOn is MultiPathCube with the routed topology decoupled
+// from the cube: t supplies adjacency and distances (it may be a
+// topology.Masked view of h for degraded-mode routing); h is only
+// documentation of the underlying geometry.
+func MultiPathCubeOn(t topology.Topology, h *topology.Hypercube, l labeling.Labeling, k core.MulticastSet) Star {
 	dh, dl := HighLowPartition(l, k)
 	s := Star{Source: k.Source}
 	l0 := l.Label(k.Source)
 	var buf [32]topology.NodeID
 	var hi, lo []topology.NodeID
-	for _, p := range h.Neighbors(k.Source, buf[:0]) {
+	for _, p := range t.Neighbors(k.Source, buf[:0]) {
 		if l.Label(p) > l0 {
 			hi = append(hi, p)
 		} else {
@@ -321,15 +353,26 @@ func MultiPathCube(h *topology.Hypercube, l labeling.Labeling, k core.MulticastS
 			if len(g) == 0 {
 				continue
 			}
-			nodes := append([]topology.NodeID{k.Source}, routeThrough(h, l, v, g)...)
+			nodes := append([]topology.NodeID{k.Source}, routeThrough(t, l, v, g)...)
 			s.Paths = append(s.Paths, PathRoute{Nodes: nodes, Dests: g})
 		}
 	}
 	if len(dh) > 0 {
-		emit(hi, assign(dh, hi, true))
+		if len(hi) == 0 {
+			// Every up-link of the source is masked out; a single direct
+			// path is the best this scheme can offer (the degraded router
+			// validates or repairs it).
+			s.Paths = append(s.Paths, PathRoute{Nodes: routeThrough(t, l, k.Source, dh), Dests: dh})
+		} else {
+			emit(hi, assign(dh, hi, true))
+		}
 	}
 	if len(dl) > 0 {
-		emit(lo, assign(dl, lo, false))
+		if len(lo) == 0 {
+			s.Paths = append(s.Paths, PathRoute{Nodes: routeThrough(t, l, k.Source, dl), Dests: dl})
+		} else {
+			emit(lo, assign(dl, lo, false))
+		}
 	}
 	return s
 }

@@ -29,6 +29,10 @@ type DynamicOptions struct {
 	// Dests overrides the destination-count sweep; nil selects the full
 	// sweep.
 	Dests []int
+	// Check runs the wormsim invariant checker inside every simulation —
+	// a testing aid (see `mcdynamic -simcheck`), slower; violations
+	// panic.
+	Check bool
 }
 
 func (o DynamicOptions) loads() []float64 {
@@ -92,6 +96,7 @@ func dynamicPoint(topo topology.Topology, route wormsim.RouteFunc, interUs float
 		BatchSize:              o.BatchSize,
 		MinBatches:             5,
 		MaxCycles:              o.MaxCycles,
+		Check:                  o.Check,
 	})
 	if err != nil {
 		panic(err)

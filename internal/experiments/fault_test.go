@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"multicastnet/internal/stats"
+)
+
+func renderFaultFigures(t *testing.T, o FaultOptions) string {
+	t.Helper()
+	delivery, latency := FaultFigures(o)
+	var sb strings.Builder
+	for _, fig := range []*stats.Figure{delivery, latency} {
+		if err := fig.WriteTable(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := fig.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+// TestFaultFiguresParallelDeterminism pins the mcfault acceptance
+// criterion: the study's output is byte-identical at every worker count.
+func TestFaultFiguresParallelDeterminism(t *testing.T) {
+	o := FaultQuick()
+	o.Check = true
+	o.Parallel = 1
+	seq := renderFaultFigures(t, o)
+	for _, workers := range []int{3, 8} {
+		o.Parallel = workers
+		if par := renderFaultFigures(t, o); par != seq {
+			t.Fatalf("fault figures at %d workers diverged from sequential", workers)
+		}
+	}
+	if !strings.Contains(seq, "dual-path") || !strings.Contains(seq, "tree") {
+		t.Fatalf("rendered output looks empty:\n%s", seq)
+	}
+}
+
+// TestFaultFiguresZeroRateHealthy checks the zero-fault end of the
+// curves: with no links failed, every scheme delivers every destination
+// in one attempt, so the delivery-ratio series start at exactly 1.
+func TestFaultFiguresZeroRateHealthy(t *testing.T) {
+	o := FaultQuick()
+	o.Check = true
+	o.Rates = []float64{0}
+	delivery, latency := FaultFigures(o)
+	for _, s := range delivery.Series {
+		if len(s.Y) != 1 || s.Y[0] != 1 {
+			t.Fatalf("series %q zero-fault delivery ratio = %v, want exactly 1",
+				s.Name, s.Y)
+		}
+	}
+	for _, s := range latency.Series {
+		if len(s.Y) != 1 || s.Y[0] <= 0 {
+			t.Fatalf("series %q zero-fault latency = %v, want positive", s.Name, s.Y)
+		}
+	}
+}
+
+// TestFaultFiguresDegradeUnderFaults sanity-checks the curve shape: at a
+// heavy fault rate the study records degraded behavior — the delivery
+// ratio drops below 1 for at least one scheme (partitions appear well
+// before 20% of links are gone on an 8x8 mesh).
+func TestFaultFiguresDegradeUnderFaults(t *testing.T) {
+	o := FaultQuick()
+	o.Rates = []float64{0.20}
+	delivery, _ := FaultFigures(o)
+	for _, s := range delivery.Series {
+		if len(s.Y) != 1 {
+			t.Fatalf("series %q has %d points, want 1", s.Name, len(s.Y))
+		}
+		if y := s.Y[0]; y <= 0 || y > 1 {
+			t.Fatalf("series %q delivery ratio = %v, want (0, 1]", s.Name, y)
+		}
+	}
+	degraded := false
+	for _, s := range delivery.Series {
+		if s.Y[0] < 1 {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatalf("no scheme lost any destination at 20%% link faults")
+	}
+}

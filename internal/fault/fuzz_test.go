@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/routing"
+	"multicastnet/internal/topology"
+)
+
+// FuzzFaultMaskCDG fuzzes random fault masks across every registry
+// scheme: degraded planning must always yield a plan that validates over
+// the masked topology with an acyclic channel dependency graph, or a
+// typed ErrPartitioned — never a panic and never an untyped error.
+func FuzzFaultMaskCDG(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(0), uint8(0), uint8(0), uint16(0x00F0))
+	f.Add(uint64(7), uint8(6), uint8(1), uint8(3), uint8(5), uint16(0x8421))
+	f.Add(uint64(99), uint8(12), uint8(2), uint8(8), uint8(15), uint16(0x7FFF))
+	m := topology.NewMesh2D(4, 4)
+	st, err := routing.NewState(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	schemes := routing.Names()
+	f.Fuzz(func(t *testing.T, seed uint64, links, nodes, vcs, src uint8, destBits uint16) {
+		mask := NewPlan(m, Spec{
+			Links: int(links) % 16,
+			Nodes: int(nodes) % 4,
+			VCs:   int(vcs) % 8,
+			Seed:  seed,
+		}).FullMask()
+		source := topology.NodeID(src) % 16
+		var dests []topology.NodeID
+		for v := 0; v < 16; v++ {
+			if destBits>>v&1 == 1 && topology.NodeID(v) != source {
+				dests = append(dests, topology.NodeID(v))
+			}
+		}
+		k, err := core.NewMulticastSet(m, source, dests)
+		if err != nil {
+			t.Skip()
+		}
+		masked := mask.MaskTopology()
+		for _, name := range schemes {
+			dr, err := NewRouter(name, st, mask)
+			if err != nil {
+				t.Fatalf("%s: router build: %v", name, err)
+			}
+			plan, _, err := dr.PlanDegraded(k)
+			if err != nil && !errors.Is(err, ErrPartitioned) {
+				t.Fatalf("%s: untyped degraded error: %v", name, err)
+			}
+			if live, ok := liveSubset(m, masked, k); ok && !mask.NodeDead(source) {
+				if err := plan.Validate(masked, live); err != nil {
+					t.Fatalf("%s: degraded plan invalid: %v", name, err)
+				}
+			}
+			rec := dfr.NewDependencyRecorder()
+			for _, p := range plan.Paths {
+				rec.AddPath(p)
+			}
+			for _, tr := range plan.Trees {
+				rec.AddTree(tr)
+			}
+			if cyc := rec.FindCycle(); cyc != nil {
+				t.Fatalf("%s: dependency cycle under mask: %v", name, cyc)
+			}
+		}
+	})
+}

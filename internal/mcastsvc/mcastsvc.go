@@ -27,7 +27,22 @@ import (
 //
 // Deprecated: Scheme is a legacy enum kept as an alias layer over the
 // routing registry; new code should set Config.SchemeName to a
-// routing.Names() entry instead.
+// routing.Names() entry instead. Migration path: replace
+//
+//	mcastsvc.New(mcastsvc.Config{Topology: t, Scheme: mcastsvc.MultiPathScheme})
+//
+// with
+//
+//	mcastsvc.New(mcastsvc.Config{Topology: t, SchemeName: "multi-path"})
+//
+// Each constant's registry name is its Name() (equivalently String())
+// value: DualPathScheme -> "dual-path", MultiPathScheme -> "multi-path",
+// FixedPathScheme -> "fixed-path". The two selectors are interchangeable
+// — Config.SchemeName takes precedence when both are set, and a Service
+// built from either reports the registry name via SchemeName() and
+// produces identical plans. The enum will not grow: registry-only
+// schemes (e.g. "tree", "virtual-channel") are reachable only through
+// SchemeName.
 type Scheme int
 
 // Available routing schemes (deprecated aliases for registry names).

@@ -34,6 +34,54 @@ func TestSchemeNameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSchemeAliasNameRoundTrip pins the documented alias table directly:
+// Name() yields exactly the promised registry name, String() agrees with
+// Name() for every defined constant, and a Service built through the
+// alias produces plans identical to one built through the name.
+func TestSchemeAliasNameRoundTrip(t *testing.T) {
+	want := map[Scheme]string{
+		DualPathScheme:  "dual-path",
+		MultiPathScheme: "multi-path",
+		FixedPathScheme: "fixed-path",
+	}
+	m := topology.NewMesh2D(4, 4)
+	for s, name := range want {
+		got, err := s.Name()
+		if err != nil {
+			t.Fatalf("%v.Name(): %v", s, err)
+		}
+		if got != name {
+			t.Errorf("%v.Name() = %q, want %q", s, got, name)
+		}
+		if s.String() != got {
+			t.Errorf("%v.String() = %q disagrees with Name() %q", s, s.String(), got)
+		}
+		viaEnum, err := New(Config{Topology: m, Scheme: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaName, err := New(Config{Topology: m, SchemeName: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := viaEnum.NewGroup([]topology.NodeID{2, 7, 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := viaEnum.Multicast(2, g, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := viaName.Multicast(2, g, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%v: enum-built and name-built services disagree: %+v vs %+v", s, a, b)
+		}
+	}
+}
+
 func TestUnknownSchemeEnumErrors(t *testing.T) {
 	if _, err := Scheme(9).Name(); err == nil {
 		t.Error("Scheme(9).Name() succeeded")

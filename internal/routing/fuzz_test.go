@@ -1,10 +1,13 @@
-package routing
+package routing_test
 
 import (
+	"errors"
 	"testing"
 
 	"multicastnet/internal/core"
 	"multicastnet/internal/dfr"
+	"multicastnet/internal/fault"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/topology"
 )
 
@@ -22,7 +25,7 @@ var fuzzTreeSchemes = []string{"tree", "naive-tree"}
 
 // checkMonotone asserts that a path's labels are strictly monotone — the
 // property that keeps the high/low channel subnetworks acyclic.
-func checkMonotone(t *testing.T, st *State, name string, p dfr.PathRoute) {
+func checkMonotone(t *testing.T, st *routing.State, name string, p dfr.PathRoute) {
 	t.Helper()
 	if len(p.Nodes) < 2 {
 		return
@@ -41,16 +44,76 @@ func checkMonotone(t *testing.T, st *State, name string, p dfr.PathRoute) {
 	}
 }
 
-// FuzzPlan drives every registry scheme over fuzzer-chosen mesh sizes and
-// destination sets and asserts the routing invariants: the plan covers
-// each destination exactly once, uses only real channels, and (for the
-// path schemes) every path is label-monotone.
+// checkDegraded routes k around the mask with the named scheme's degraded
+// router and asserts the fault contract: no panic, every returned error
+// is a typed partition error, and the plan covers exactly the reachable
+// destinations using only live channels.
+func checkDegraded(t *testing.T, name string, st *routing.State, mask *fault.Mask,
+	k core.MulticastSet) {
+	t.Helper()
+	dr, err := fault.NewRouter(name, st, mask)
+	if err != nil {
+		t.Fatalf("%s: NewRouter: %v", name, err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: PlanDegraded panicked on mask (%d events): %v",
+				name, mask.Events(), r)
+		}
+	}()
+	plan, _, perr := dr.PlanDegraded(k)
+	if perr != nil && !errors.Is(perr, fault.ErrPartitioned) {
+		t.Fatalf("%s: untyped degraded error: %v", name, perr)
+	}
+	masked := mask.MaskTopology()
+	var live []topology.NodeID
+	for _, d := range k.Dests {
+		if !mask.NodeDead(k.Source) && masked.Reachable(k.Source, d) {
+			live = append(live, d)
+		}
+	}
+	if len(live) < len(k.Dests) && perr == nil {
+		t.Fatalf("%s: %d destination(s) severed but no partition error",
+			name, len(k.Dests)-len(live))
+	}
+	if len(live) == 0 {
+		return
+	}
+	lk := core.MulticastSet{Source: k.Source, Dests: live}
+	if err := plan.Validate(masked, lk); err != nil {
+		t.Fatalf("%s: degraded plan invalid over masked mesh: %v", name, err)
+	}
+	for _, p := range plan.Paths {
+		for i := 1; i < len(p.Nodes); i++ {
+			c := dfr.Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.HopClass(i - 1)}
+			if mask.ChannelDead(c) {
+				t.Fatalf("%s: degraded plan crosses dead channel %v", name, c)
+			}
+		}
+	}
+	for _, tr := range plan.Trees {
+		for _, e := range tr.Edges {
+			if mask.ChannelDead(e) {
+				t.Fatalf("%s: degraded tree crosses dead channel %v", name, e)
+			}
+		}
+	}
+}
+
+// FuzzPlan drives every registry scheme over fuzzer-chosen mesh sizes,
+// destination sets, and fault masks, and asserts the routing invariants:
+// on healthy hardware the plan covers each destination exactly once,
+// uses only real channels, and (for the path schemes) every path is
+// label-monotone; under the fuzzed fault mask the degraded router either
+// covers every reachable destination over live channels or reports a
+// typed partition error — never a panic.
 func FuzzPlan(f *testing.F) {
-	f.Add(uint8(4), uint8(4), uint16(0), []byte{5, 10, 15})
-	f.Add(uint8(8), uint8(8), uint16(27), []byte{0, 1, 2, 3, 60, 61, 62, 63})
-	f.Add(uint8(2), uint8(3), uint16(5), []byte{0})
-	f.Add(uint8(7), uint8(2), uint16(13), []byte{1, 1, 1, 12})
-	f.Fuzz(func(t *testing.T, w, h uint8, src uint16, destBytes []byte) {
+	f.Add(uint8(4), uint8(4), uint16(0), []byte{5, 10, 15}, uint64(0), uint8(0))
+	f.Add(uint8(8), uint8(8), uint16(27), []byte{0, 1, 2, 3, 60, 61, 62, 63}, uint64(7), uint8(9))
+	f.Add(uint8(2), uint8(3), uint16(5), []byte{0}, uint64(42), uint8(3))
+	f.Add(uint8(7), uint8(2), uint16(13), []byte{1, 1, 1, 12}, uint64(1990), uint8(30))
+	f.Fuzz(func(t *testing.T, w, h uint8, src uint16, destBytes []byte,
+		faultSeed uint64, faultLinks uint8) {
 		width := 2 + int(w)%7  // 2..8
 		height := 2 + int(h)%7 // 2..8
 		m := topology.NewMesh2D(width, height)
@@ -71,12 +134,12 @@ func FuzzPlan(f *testing.F) {
 		if err != nil {
 			t.Fatalf("set construction: %v", err)
 		}
-		st, err := NewState(m)
+		st, err := routing.NewState(m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, name := range fuzzSchemes {
-			r, err := New(name, st)
+			r, err := routing.New(name, st)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -89,13 +152,26 @@ func FuzzPlan(f *testing.F) {
 			}
 		}
 		for _, name := range fuzzTreeSchemes {
-			r, err := New(name, st)
+			r, err := routing.New(name, st)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 			if err := r.PlanSet(k).Validate(m, k); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
+		}
+		// Fault-mask leg: kill a fuzzer-chosen set of links (at most a
+		// third of the mesh, so the mask stays routable often enough to
+		// exercise repair, not just partition reporting) and re-check
+		// every scheme through its degraded router.
+		nLinks := len(fault.EnumerateLinks(m))
+		links := int(faultLinks) % (nLinks/3 + 2)
+		if links == 0 {
+			return
+		}
+		mask := fault.NewPlan(m, fault.Spec{Links: links, Seed: faultSeed}).FullMask()
+		for _, name := range append(append([]string(nil), fuzzSchemes...), fuzzTreeSchemes...) {
+			checkDegraded(t, name, st, mask, k)
 		}
 	})
 }

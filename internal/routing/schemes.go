@@ -136,7 +136,7 @@ func init() {
 		Description:  "double-channel X-first multicast tree (Section 6.2.1, 2D mesh)",
 		DeadlockFree: true,
 		Build: func(s *State, _ Options) (Router, error) {
-			m, ok := s.topo.(*topology.Mesh2D)
+			m, ok := meshOf(s.topo)
 			if !ok {
 				return nil, fmt.Errorf("routing: tree scheme needs a 2D mesh, got %s", s.topo.Name())
 			}
@@ -151,7 +151,7 @@ func init() {
 		Description:  "single-channel X-first tree — deadlock-PRONE (Section 6.1 demonstration)",
 		DeadlockFree: false,
 		Build: func(s *State, _ Options) (Router, error) {
-			m, ok := s.topo.(*topology.Mesh2D)
+			m, ok := meshOf(s.topo)
 			if !ok {
 				return nil, fmt.Errorf("routing: naive-tree scheme needs a 2D mesh, got %s", s.topo.Name())
 			}
@@ -197,18 +197,38 @@ func init() {
 	})
 }
 
-// multiPathFn dispatches the multi-path algorithm by topology.
+// multiPathFn dispatches the multi-path algorithm by topology. Masked
+// views are routed over the mask but split by the underlying geometry.
 func multiPathFn(s *State) (func(k core.MulticastSet) dfr.Star, error) {
-	switch tt := s.topo.(type) {
-	case *topology.Mesh2D:
+	if m, ok := meshOf(s.topo); ok {
 		return func(k core.MulticastSet) dfr.Star {
-			return dfr.MultiPathMesh(tt, s.label, k)
+			return dfr.MultiPathMeshOn(s.topo, m, s.label, k)
 		}, nil
-	case *topology.Hypercube:
-		return func(k core.MulticastSet) dfr.Star {
-			return dfr.MultiPathCube(tt, s.label, k)
-		}, nil
-	default:
-		return nil, fmt.Errorf("routing: multi-path needs a 2D mesh or hypercube, got %s", s.topo.Name())
 	}
+	if h, ok := cubeOf(s.topo); ok {
+		return func(k core.MulticastSet) dfr.Star {
+			return dfr.MultiPathCubeOn(s.topo, h, s.label, k)
+		}, nil
+	}
+	return nil, fmt.Errorf("routing: multi-path needs a 2D mesh or hypercube, got %s", s.topo.Name())
+}
+
+// meshOf unwraps the 2D mesh beneath t, looking through a Masked view,
+// so geometry-dependent schemes stay buildable over faulty meshes (the
+// degraded router validates and repairs their blind spots).
+func meshOf(t topology.Topology) (*topology.Mesh2D, bool) {
+	if mk, ok := t.(*topology.Masked); ok {
+		t = mk.Base()
+	}
+	m, ok := t.(*topology.Mesh2D)
+	return m, ok
+}
+
+// cubeOf unwraps the hypercube beneath t, looking through a Masked view.
+func cubeOf(t topology.Topology) (*topology.Hypercube, bool) {
+	if mk, ok := t.(*topology.Masked); ok {
+		t = mk.Base()
+	}
+	h, ok := t.(*topology.Hypercube)
+	return h, ok
 }

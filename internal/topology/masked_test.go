@@ -1,0 +1,98 @@
+package topology
+
+import "testing"
+
+// TestMaskedHealthy checks that an empty mask is transparent: same
+// adjacency and distances as the base mesh.
+func TestMaskedHealthy(t *testing.T) {
+	base := NewMesh2D(4, 3)
+	m := NewMasked(base, nil, nil)
+	if m.Nodes() != base.Nodes() || m.MaxDegree() != base.MaxDegree() {
+		t.Fatalf("masked changed node count or degree")
+	}
+	for u := NodeID(0); int(u) < base.Nodes(); u++ {
+		for v := NodeID(0); int(v) < base.Nodes(); v++ {
+			if m.Adjacent(u, v) != base.Adjacent(u, v) {
+				t.Fatalf("adjacency differs at (%d,%d)", u, v)
+			}
+			if m.Distance(u, v) != base.Distance(u, v) {
+				t.Fatalf("distance differs at (%d,%d): %d vs %d",
+					u, v, m.Distance(u, v), base.Distance(u, v))
+			}
+			if !m.Reachable(u, v) {
+				t.Fatalf("(%d,%d) unreachable in healthy mask", u, v)
+			}
+		}
+	}
+	if m.Diameter() != base.Diameter() {
+		t.Fatalf("diameter %d, want %d", m.Diameter(), base.Diameter())
+	}
+}
+
+// TestMaskedDeadLink kills one link of a 1xN path mesh, which must
+// partition it.
+func TestMaskedDeadLink(t *testing.T) {
+	base := NewMesh2D(5, 1) // a path 0-1-2-3-4
+	m := NewMasked(base, nil, []Link{NormLink(1, 2)})
+	if m.Adjacent(1, 2) || m.Adjacent(2, 1) {
+		t.Fatalf("dead link still adjacent")
+	}
+	if !m.Adjacent(0, 1) || !m.Adjacent(2, 3) {
+		t.Fatalf("live links lost")
+	}
+	if m.Reachable(0, 4) {
+		t.Fatalf("severed path still reachable")
+	}
+	if got := m.Distance(0, 4); got != m.Nodes() {
+		t.Fatalf("unreachable distance sentinel: got %d, want %d", got, m.Nodes())
+	}
+	if got := m.Distance(2, 4); got != 2 {
+		t.Fatalf("live-side distance: got %d, want 2", got)
+	}
+	if !m.LinkDead(2, 1) {
+		t.Fatalf("LinkDead not symmetric")
+	}
+}
+
+// TestMaskedDeadNode kills a cut vertex: its links disappear and routes
+// must detour or fail.
+func TestMaskedDeadNode(t *testing.T) {
+	base := NewMesh2D(3, 3)
+	center := base.ID(1, 1)
+	m := NewMasked(base, []NodeID{center}, nil)
+	if !m.NodeDead(center) {
+		t.Fatalf("center not dead")
+	}
+	if m.Adjacent(center, base.ID(0, 1)) {
+		t.Fatalf("dead node still adjacent")
+	}
+	if got := len(m.Neighbors(center, nil)); got != 0 {
+		t.Fatalf("dead node has %d neighbors", got)
+	}
+	// (0,1) to (2,1) used to be distance 2 through the center; now the
+	// detour around it is length 4.
+	if got := m.Distance(base.ID(0, 1), base.ID(2, 1)); got != 4 {
+		t.Fatalf("detour distance: got %d, want 4", got)
+	}
+	if m.Reachable(center, 0) || m.Reachable(0, center) {
+		t.Fatalf("dead node reachable")
+	}
+}
+
+// TestMaskedNameFingerprint checks distinct masks get distinct names and
+// the base topology is recoverable.
+func TestMaskedNameFingerprint(t *testing.T) {
+	base := NewMesh2D(4, 4)
+	a := NewMasked(base, nil, []Link{NormLink(0, 1)})
+	b := NewMasked(base, nil, []Link{NormLink(1, 2)})
+	c := NewMasked(base, nil, []Link{NormLink(0, 1)})
+	if a.Name() == b.Name() {
+		t.Fatalf("different masks share name %q", a.Name())
+	}
+	if a.Name() != c.Name() {
+		t.Fatalf("equal masks differ: %q vs %q", a.Name(), c.Name())
+	}
+	if a.Base() != Topology(base) {
+		t.Fatalf("Base() lost the wrapped topology")
+	}
+}

@@ -1,0 +1,146 @@
+package wormsim
+
+import "fmt"
+
+// CheckInvariants audits the full simulator state and returns the first
+// violation found, or nil. It is the safety net behind the -simcheck
+// flag and the determinism tests: any bookkeeping drift between worms,
+// channels, queues, and multicast accounting is caught at the cycle it
+// happens instead of surfacing as silently wrong statistics.
+//
+// Invariants checked:
+//
+//   - accounting: the live-worm count matches inFlight;
+//   - flit conservation: every worm's released/head/progress counters
+//     are mutually consistent and within route bounds, so no flit is
+//     created or destroyed by the pipeline arithmetic;
+//   - channel ownership: every held channel is held by exactly the worm
+//     whose state says it holds it (no double-occupancy, no orphans),
+//     and failed channels are never owned;
+//   - queue consistency: wait queues contain only live worms, at most
+//     once each;
+//   - delivery conservation: per-worm undelivered counts match the
+//     delivery flags, and each multicast's remaining+lost+delivered
+//     partitions its destination set.
+func (n *Network) CheckInvariants() error {
+	live := 0
+	owners := make(map[int32]*worm)
+	type mcastSeen struct {
+		undeliv int
+		flagged int
+	}
+	mcasts := make(map[*mcastState]*mcastSeen)
+	for _, w := range n.worms {
+		if w.done {
+			continue
+		}
+		live++
+		holds := func(id int32) error {
+			if prev, ok := owners[id]; ok {
+				return fmt.Errorf("wormsim: channel %d held by worms %d and %d", id, prev.id, w.id)
+			}
+			owners[id] = w
+			st := &n.chans[id]
+			if st.dead {
+				return fmt.Errorf("wormsim: worm %d holds failed channel %d", w.id, id)
+			}
+			if st.owner != w {
+				return fmt.Errorf("wormsim: worm %d believes it holds channel %d owned by someone else", w.id, id)
+			}
+			return nil
+		}
+		if w.kind == pathWorm {
+			if w.released < 0 || w.released > w.headIdx || w.headIdx > len(w.chans) {
+				return fmt.Errorf("wormsim: worm %d counters out of order: released %d head %d len %d",
+					w.id, w.released, w.headIdx, len(w.chans))
+			}
+			if w.progress < w.headIdx || w.progress > len(w.chans)+w.length {
+				return fmt.Errorf("wormsim: worm %d flit miscount: progress %d head %d len %d length %d",
+					w.id, w.progress, w.headIdx, len(w.chans), w.length)
+			}
+			for i := w.released; i < w.headIdx; i++ {
+				if err := holds(w.chans[i]); err != nil {
+					return err
+				}
+			}
+		} else {
+			if w.released < 0 || w.released > w.headIdx || w.headIdx > len(w.levels) {
+				return fmt.Errorf("wormsim: tree worm %d counters out of order: released %d head %d levels %d",
+					w.id, w.released, w.headIdx, len(w.levels))
+			}
+			if w.progress < w.headIdx || w.progress > len(w.levels)+w.length {
+				return fmt.Errorf("wormsim: tree worm %d flit miscount: progress %d head %d levels %d length %d",
+					w.id, w.progress, w.headIdx, len(w.levels), w.length)
+			}
+			for li := w.released; li < w.headIdx; li++ {
+				for _, id := range w.levels[li].channels {
+					if err := holds(id); err != nil {
+						return err
+					}
+				}
+			}
+			if w.headIdx < len(w.levels) {
+				l := &w.levels[w.headIdx]
+				for i, id := range l.channels {
+					if l.taken[i] {
+						if err := holds(id); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		undeliv := 0
+		for _, d := range w.deliveries {
+			if !d.done {
+				undeliv++
+			}
+		}
+		if undeliv != w.undeliv {
+			return fmt.Errorf("wormsim: worm %d undelivered count %d but %d deliveries pending",
+				w.id, w.undeliv, undeliv)
+		}
+		ms := mcasts[w.mcast]
+		if ms == nil {
+			ms = &mcastSeen{}
+			mcasts[w.mcast] = ms
+		}
+		ms.undeliv += undeliv
+	}
+	if live != n.inFlight {
+		return fmt.Errorf("wormsim: %d live worms but inFlight = %d", live, n.inFlight)
+	}
+	for id := range n.chans {
+		st := &n.chans[id]
+		if st.owner != nil {
+			if st.owner.done {
+				return fmt.Errorf("wormsim: channel %d owned by retired worm %d", id, st.owner.id)
+			}
+			if owners[int32(id)] != st.owner {
+				return fmt.Errorf("wormsim: channel %d owner worm %d does not account for holding it",
+					id, st.owner.id)
+			}
+		}
+		seen := make(map[*worm]bool, len(st.queue))
+		for _, q := range st.queue {
+			if q.done {
+				return fmt.Errorf("wormsim: retired worm %d still queued on channel %d", q.id, id)
+			}
+			if seen[q] {
+				return fmt.Errorf("wormsim: worm %d queued twice on channel %d", q.id, id)
+			}
+			seen[q] = true
+		}
+	}
+	for mc, ms := range mcasts {
+		if mc.remaining != ms.undeliv {
+			return fmt.Errorf("wormsim: multicast remaining %d but live worms owe %d deliveries",
+				mc.remaining, ms.undeliv)
+		}
+		if mc.remaining < 0 || mc.lost < 0 || mc.remaining+mc.lost > mc.size {
+			return fmt.Errorf("wormsim: multicast accounting broken: size %d remaining %d lost %d",
+				mc.size, mc.remaining, mc.lost)
+		}
+	}
+	return nil
+}

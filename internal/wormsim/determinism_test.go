@@ -26,6 +26,7 @@ func TestRunDeterministic(t *testing.T) {
 			BatchSize:              100,
 			MinBatches:             5,
 			MaxCycles:              60_000,
+			Check:                  true,
 		},
 		{
 			Topology:               m,
@@ -38,6 +39,7 @@ func TestRunDeterministic(t *testing.T) {
 			BatchSize:              50,
 			MinBatches:             5,
 			MaxCycles:              40_000,
+			Check:                  true,
 		},
 	} {
 		first, err := Run(cfg)

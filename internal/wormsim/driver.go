@@ -68,6 +68,27 @@ type Config struct {
 	// StallLimit is the no-progress cycle count after which the run is
 	// declared deadlocked. Zero selects a safe default.
 	StallLimit int64
+
+	// Faults schedules mid-run hardware failures, sorted by Cycle. Each
+	// activation fails the matching channels (killing the worms caught on
+	// them) and can swap the routing function for the new fault epoch.
+	Faults []ScheduledFault
+	// Check runs the full invariant audit (CheckInvariants) at every
+	// periodic deadlock-check boundary and at run end — the -simcheck
+	// mode. Violations abort the run with an error.
+	Check bool
+}
+
+// ScheduledFault is one fault-epoch activation inside a dynamic run.
+type ScheduledFault struct {
+	// Cycle is the activation time; due faults apply before injections.
+	Cycle int64
+	// Dead reports the channels failing at this epoch (nil fails none —
+	// e.g. an epoch that only swaps routing).
+	Dead func(c dfr.Channel) bool
+	// Route, when non-nil, replaces the routing function from this epoch
+	// on — how degraded-mode routing follows the fault schedule.
+	Route RouteFunc
 }
 
 // validate fills defaults and checks consistency.
@@ -148,6 +169,13 @@ type Result struct {
 	ThroughputPerMs float64
 	// MulticastsSent counts injected multicasts.
 	MulticastsSent int
+	// Delivered counts every destination delivery, warmup included
+	// (Deliveries is the post-warmup measurement subset).
+	Delivered int
+	// Lost counts destination deliveries dropped by fault-killed worms.
+	Lost int
+	// WormsKilled counts worms dropped by channel failures.
+	WormsKilled int
 	// Cycles is the simulated cycle count.
 	Cycles int64
 	// Deadlocked reports that the network stopped making progress with
@@ -198,6 +226,11 @@ func Run(cfg Config) (Result, error) {
 		completion.Add(float64(cycles) * flitUs)
 	})
 
+	res := Result{}
+	net.OnLost(func(_ topology.NodeID, _ int) {
+		res.Lost++
+	})
+
 	// Next-spawn events, one per node, on a min-heap ordered by
 	// (cycle, node). Spawn times are strictly increasing per node and the
 	// node id breaks ties, so events pop in exactly the order the
@@ -209,11 +242,24 @@ func Run(cfg Config) (Result, error) {
 		spawns.push(spawnEvent{at: int64(rng.ExpFloat64(interCycles)), node: int32(i)})
 	}
 
-	res := Result{}
+	route := cfg.Route
+	nextFault := 0
 	var lastProgress int64
 	checkedBatches := -1 // batch count at the last convergence test
 	for net.Cycle() < cfg.MaxCycles {
 		now := net.Cycle()
+		// Activate due fault epochs before injections: a message spawned
+		// at an epoch boundary is already routed by the new epoch.
+		for nextFault < len(cfg.Faults) && cfg.Faults[nextFault].Cycle <= now {
+			f := cfg.Faults[nextFault]
+			if f.Dead != nil {
+				net.FailWhere(f.Dead)
+			}
+			if f.Route != nil {
+				route = f.Route
+			}
+			nextFault++
+		}
 		for spawns[0].at <= now {
 			ev := spawns.pop()
 			ev.at += int64(rng.ExpFloat64(interCycles)) + 1
@@ -226,7 +272,7 @@ func Run(cfg Config) (Result, error) {
 			if cfg.LiveRoute != nil {
 				inj = cfg.LiveRoute(k, net)
 			} else {
-				inj = cfg.Route(k)
+				inj = route(k)
 			}
 			net.InjectMulticast(inj.Paths, inj.Trees, lengthFlits)
 			res.MulticastsSent++
@@ -240,9 +286,16 @@ func Run(cfg Config) (Result, error) {
 		}
 		// A wait-for cycle is a permanent deadlock even while other
 		// worms still progress elsewhere; check periodically.
-		if net.Cycle()%64 == 0 && net.ActiveWorms() > 1 && net.DetectDeadlock() != nil {
-			res.Deadlocked = true
-			break
+		if net.Cycle()%64 == 0 {
+			if net.ActiveWorms() > 1 && net.DetectDeadlock() != nil {
+				res.Deadlocked = true
+				break
+			}
+			if cfg.Check {
+				if err := net.CheckInvariants(); err != nil {
+					return res, fmt.Errorf("cycle %d: %w", net.Cycle(), err)
+				}
+			}
 		}
 		// Converged only changes when a batch completes; testing it per
 		// batch instead of per cycle skips the t-interval arithmetic on
@@ -262,6 +315,9 @@ func Run(cfg Config) (Result, error) {
 		// stall limit — keeping cycle counts identical to stepping.
 		if !net.movable() {
 			target := spawns[0].at
+			if nextFault < len(cfg.Faults) && cfg.Faults[nextFault].Cycle < target {
+				target = cfg.Faults[nextFault].Cycle
+			}
 			if net.ActiveWorms() > 0 {
 				if b := (net.Cycle()/64+1)*64 - 1; b < target {
 					target = b
@@ -278,6 +334,11 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 	}
+	if cfg.Check {
+		if err := net.CheckInvariants(); err != nil {
+			return res, fmt.Errorf("cycle %d (end): %w", net.Cycle(), err)
+		}
+	}
 	res.AvgLatencyMicros = latency.Mean()
 	res.CIHalfWidthMicros = latency.HalfWidth()
 	if math.IsInf(res.CIHalfWidthMicros, 1) {
@@ -287,6 +348,8 @@ func Run(cfg Config) (Result, error) {
 	res.AvgUnicastLatencyMicros = uniLatency.Value()
 	res.AvgMulticastLatencyMicros = mcastLatency.Value()
 	res.Deliveries = latency.Observations()
+	res.Delivered = seen
+	res.WormsKilled = net.KilledWorms()
 	res.Cycles = net.Cycle()
 	if cycles := res.Cycles - warmupEndCycle; cycles > 0 {
 		elapsedMs := float64(cycles) * flitUs / 1000

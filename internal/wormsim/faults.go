@@ -1,0 +1,128 @@
+package wormsim
+
+import (
+	"sort"
+
+	"multicastnet/internal/dfr"
+	"multicastnet/internal/topology"
+)
+
+// Mid-run fault injection. A failed channel is hardware that stops
+// moving flits: the worm holding it loses its pipeline (wormhole flow
+// control cannot back flits out of acquired channels, Section 2.3.4), so
+// the whole message is dropped and every channel it held is flushed and
+// released. Worms that later request a failed channel are dropped at the
+// point of request. Lost destination deliveries are reported through
+// OnLost so drivers can account delivery ratios and trigger retries.
+
+// OnLost registers a callback invoked once per destination that a
+// fault-killed worm will never deliver, with the destination count of
+// the owning multicast.
+func (n *Network) OnLost(fn func(dest topology.NodeID, mcastSize int)) { n.onLost = fn }
+
+// KilledWorms returns the number of worms killed by channel failures so
+// far.
+func (n *Network) KilledWorms() int { return n.killed }
+
+// FailWhere fails every channel matching pred — both channels already
+// interned and channels interned later (routes injected after the fault
+// that still reference dead hardware lose their worms on contact). Worms
+// currently holding or queued on a failing channel are killed
+// immediately, in ascending id order. It returns the number of worms
+// killed.
+func (n *Network) FailWhere(pred func(c dfr.Channel) bool) int {
+	n.deadPreds = append(n.deadPreds, pred)
+	var victims []*worm
+	seen := make(map[*worm]bool)
+	collect := func(w *worm) {
+		if w != nil && !w.done && !seen[w] {
+			seen[w] = true
+			victims = append(victims, w)
+		}
+	}
+	for c, id := range n.chanIDs {
+		st := &n.chans[id]
+		if st.dead || !pred(c) {
+			continue
+		}
+		st.dead = true
+		collect(st.owner)
+		for _, q := range st.queue {
+			collect(q)
+		}
+	}
+	// Kill in ascending id order: chanIDs is a map, so the collection
+	// order above is not deterministic, but the kill order — and with it
+	// the OnLost callback order and all downstream wakes — must be.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, w := range victims {
+		n.killWorm(w)
+	}
+	return len(victims)
+}
+
+// killWorm drops an in-flight worm: it leaves every wait queue, releases
+// every channel it holds (waking their FIFO heads), reports its
+// undelivered destinations through OnLost, and retires. The multicast is
+// marked lossy so OnComplete never fires for it.
+func (n *Network) killWorm(w *worm) {
+	if w.done {
+		return
+	}
+	n.killed++
+	if w.kind == pathWorm {
+		if w.queuedAt >= 0 && w.queuedAt == w.headIdx && w.headIdx < len(w.chans) {
+			n.dequeue(w.chans[w.headIdx], w)
+		}
+		for i := w.released; i < w.headIdx; i++ {
+			n.release(w.chans[i], w)
+		}
+	} else {
+		if w.headIdx < len(w.levels) {
+			l := &w.levels[w.headIdx]
+			for i, id := range l.channels {
+				switch {
+				case l.taken[i]:
+					n.release(id, w)
+				case l.queued:
+					n.dequeue(id, w)
+				}
+			}
+		}
+		for li := w.released; li < w.headIdx && li < len(w.levels); li++ {
+			for _, id := range w.levels[li].channels {
+				n.release(id, w)
+			}
+		}
+	}
+	for i := range w.deliveries {
+		d := &w.deliveries[i]
+		if d.done {
+			continue
+		}
+		d.done = true
+		w.mcast.remaining--
+		w.mcast.lost++
+		if n.onLost != nil {
+			n.onLost(d.dest, w.mcast.size)
+		}
+	}
+	w.undeliv = 0
+	n.retire(w)
+}
+
+// dequeue removes w from one channel's wait queue; if the channel is
+// free and a new head emerges, that head is woken (it may have been
+// waiting behind w).
+func (n *Network) dequeue(id int32, w *worm) {
+	st := &n.chans[id]
+	for i, x := range st.queue {
+		if x == w {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			break
+		}
+	}
+	if !st.dead && st.owner == nil && len(st.queue) > 0 {
+		n.wake(st.queue[0])
+	}
+}

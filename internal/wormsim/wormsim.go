@@ -112,12 +112,14 @@ type mcastState struct {
 	spawned   int64
 	size      int // destination count of the whole multicast
 	remaining int // undelivered destinations across all worms
+	lost      int // destinations lost to fault-killed worms
 }
 
 // chanState is the occupancy and FIFO wait queue of one channel.
 type chanState struct {
 	owner *worm
 	queue []*worm
+	dead  bool // failed hardware: never grantable again
 }
 
 // enqueue appends w; callers guarantee at-most-once per wait episode via
@@ -126,15 +128,16 @@ func (c *chanState) enqueue(w *worm) {
 	c.queue = append(c.queue, w)
 }
 
-// availableTo reports whether w may take the channel now: free, and w is
-// first in line (or the queue is empty because w never had to wait).
+// availableTo reports whether w may take the channel now: alive, free,
+// and w is first in line (or the queue is empty because w never had to
+// wait).
 func (c *chanState) availableTo(w *worm) bool {
-	return c.owner == nil && (len(c.queue) == 0 || c.queue[0] == w)
+	return !c.dead && c.owner == nil && (len(c.queue) == 0 || c.queue[0] == w)
 }
 
 // availableToQueued is availableTo for a worm known to be enqueued.
 func (c *chanState) availableToQueued(w *worm) bool {
-	return c.owner == nil && len(c.queue) > 0 && c.queue[0] == w
+	return !c.dead && c.owner == nil && len(c.queue) > 0 && c.queue[0] == w
 }
 
 func (c *chanState) take(w *worm) {
@@ -171,10 +174,16 @@ type Network struct {
 	scanID    int  // id of the worm being processed by Step
 	inStep    bool // routes wakes between wokenNow and wokenNext
 
+	// Fault state: predicates applied to every channel — existing and
+	// future-interned — by FailWhere; killed counts fault-killed worms.
+	deadPreds []func(dfr.Channel) bool
+	killed    int
+
 	// Observers.
 	onDelivery       func(dest topology.NodeID, latencyCycles int64)
 	onDeliveryDetail func(dest topology.NodeID, latencyCycles int64, mcastSize int)
 	onComplete       func(latencyCycles int64)
+	onLost           func(dest topology.NodeID, mcastSize int)
 }
 
 // NewNetwork returns an empty network over topo. Channels are created
@@ -236,7 +245,14 @@ func (n *Network) intern(c dfr.Channel) int32 {
 	}
 	id := int32(len(n.chans))
 	n.chanIDs[c] = id
-	n.chans = append(n.chans, chanState{})
+	st := chanState{}
+	for _, pred := range n.deadPreds {
+		if pred(c) {
+			st.dead = true
+			break
+		}
+	}
+	n.chans = append(n.chans, st)
 	return id
 }
 
@@ -272,7 +288,7 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 		}
 		chans := make([]int32, len(p.Nodes)-1)
 		for i := 1; i < len(p.Nodes); i++ {
-			chans[i-1] = n.intern(dfr.Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.Class})
+			chans[i-1] = n.intern(dfr.Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.HopClass(i - 1)})
 		}
 		w := &worm{
 			kind:     pathWorm,
@@ -368,7 +384,7 @@ func (n *Network) release(id int32, w *worm) {
 // ahead of the current scan position it runs this very cycle — exactly
 // when the full scan would have polled it — otherwise next cycle.
 func (n *Network) wake(w *worm) {
-	if !w.parked || w.wakePending {
+	if w.done || !w.parked || w.wakePending {
 		return
 	}
 	w.wakePending = true
@@ -434,6 +450,9 @@ func (n *Network) Step() bool {
 		} else {
 			break
 		}
+		if w.done {
+			continue // killed by a fault while on the active list
+		}
 		n.scanID = w.id
 		var live bool
 		if w.kind == pathWorm {
@@ -454,8 +473,12 @@ func (n *Network) Step() bool {
 }
 
 // retire removes a drained worm from the in-flight accounting; the worms
-// list is compacted lazily once half of it is dead.
+// list is compacted lazily once half of it is dead. Idempotent: a worm
+// killed by a fault mid-advance is already retired when Step sees it.
 func (n *Network) retire(w *worm) {
+	if w.done {
+		return
+	}
 	w.done = true
 	n.inFlight--
 	if dead := len(n.worms) - n.inFlight; dead > 32 && dead > n.inFlight {
@@ -478,6 +501,13 @@ func (n *Network) advancePath(w *worm) bool {
 	if w.headIdx < len(w.chans) {
 		id := w.chans[w.headIdx]
 		st := &n.chans[id]
+		if st.dead {
+			// The header reached failed hardware: the message is dropped
+			// and its in-flight flits are flushed (Section 2.3.4 flow
+			// control has no way to back up past an acquired channel).
+			n.killWorm(w)
+			return false
+		}
 		if st.availableTo(w) {
 			st.take(w)
 			w.headIdx++
@@ -525,6 +555,14 @@ func (n *Network) advanceTree(w *worm) bool {
 	moved := false
 	if w.headIdx < len(w.levels) {
 		l := &w.levels[w.headIdx]
+		for _, id := range l.channels {
+			if n.chans[id].dead {
+				// Lock-step trees need the whole frontier; one dead
+				// branch channel drops the whole message.
+				n.killWorm(w)
+				return false
+			}
+		}
 		if !l.queued {
 			for _, id := range l.channels {
 				n.chans[id].enqueue(w)
@@ -582,7 +620,9 @@ func (n *Network) deliver(w *worm, d *delivery) {
 		n.onDeliveryDetail(d.dest, n.cycle-w.spawned, w.mcast.size)
 	}
 	w.mcast.remaining--
-	if w.mcast.remaining == 0 && n.onComplete != nil {
+	// A multicast that lost any destination to a fault never completes;
+	// completion latency is only defined for fully delivered multicasts.
+	if w.mcast.remaining == 0 && w.mcast.lost == 0 && n.onComplete != nil {
 		n.onComplete(n.cycle - w.mcast.spawned)
 	}
 }
