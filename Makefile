@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-baseline bench-routing-baseline bench-heuristics-baseline results fuzz check-fault
+.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-regression results fuzz check-fault check-scale
 
 ## check: everything CI runs — format, vet, build, race tests, quick benchmarks
 check: fmt vet build race bench
@@ -28,9 +28,20 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGreedyST|BenchmarkKMB|BenchmarkSortedMP' -benchmem -benchtime 100x ./internal/heuristics
 	$(GO) test -run '^$$' -bench 'BenchmarkStaticTable' -benchmem -benchtime 1x ./internal/experiments
 
-## bench-baseline: regenerate the committed BENCH_wormsim.json
-bench-baseline:
+## bench-wormsim-baseline: regenerate the committed BENCH_wormsim.json in
+## one deterministic pass — serial and per-shard-count core throughput,
+## gomaxprocs, and every dynamic figure's wall time
+bench-wormsim-baseline:
 	$(GO) run ./cmd/mcfigures -bench -quick -parallel 1 -out .
+
+## bench-baseline: legacy alias of bench-wormsim-baseline
+bench-baseline: bench-wormsim-baseline
+
+## bench-regression: warn-only throughput gate — re-measures the serial and
+## sharded core workloads and warns (exit 0 regardless) on a >15%
+## cycles_per_sec regression against the committed BENCH_wormsim.json
+bench-regression:
+	$(GO) run ./cmd/mcfigures -bench-compare BENCH_wormsim.json
 
 ## bench-routing-baseline: regenerate the committed BENCH_routing.json
 bench-routing-baseline:
@@ -51,7 +62,17 @@ check-fault:
 	$(GO) test -run 'TestFaultFigures' ./internal/experiments
 	$(GO) test -run 'TestKMBVsExactOnFaultyMeshes' ./internal/opt
 
+## check-scale: the sharded-engine acceptance suite — serial/sharded
+## byte-identity across schemes, topologies and fault plans, the dense
+## CSR injection equivalence, the allocation-free steady state, the
+## figure-level -shards contracts, and a quick end-to-end scale study
+check-scale:
+	$(GO) test -run 'TestSharded|TestFlatInjection|TestSetShardsGuards|TestSteadyStateAllocationFree' ./internal/wormsim
+	$(GO) test -run 'TestScaleStudySmall|TestDynamicFigureShardsByteIdentical|TestFaultFiguresShardsByteIdentical' ./internal/experiments
+	$(GO) run ./cmd/mcscale -quick -out $$(mktemp -d)
+
 ## results: regenerate every table and figure at full fidelity
 results:
 	$(GO) run ./cmd/mcfigures -out results
 	$(GO) run ./cmd/mcfault -out results
+	$(GO) run ./cmd/mcscale -out results

@@ -31,6 +31,7 @@ func main() {
 	listSchemes := flag.Bool("list-schemes", false, "list the routing-engine schemes and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "step each simulation with the sharded engine (0/1 = serial; figures are byte-identical)")
 	simcheck := flag.Bool("simcheck", false, "run wormsim invariant checks inside every simulation")
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		opts.MaxCycles = *maxCycles
 	}
 	opts.Parallel = *parallel
+	opts.Shards = *shards
 	opts.Check = *simcheck
 
 	figs := map[string]func(experiments.DynamicOptions) *stats.Figure{

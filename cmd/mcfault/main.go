@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 1990, "study seed")
 	csv := flag.Bool("csv", false, "emit CSV on stdout instead of writing files")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "step each attempt with the sharded engine (0/1 = serial; figures are byte-identical)")
 	simcheck := flag.Bool("simcheck", false, "run wormsim invariant checks inside every attempt")
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Parallel = *parallel
+	opts.Shards = *shards
 	opts.Check = *simcheck
 
 	delivery, latency := experiments.FaultFigures(opts)

@@ -32,7 +32,13 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workloads")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	bench := flag.Bool("bench", false, "measure simulator throughput and figure wall times, write BENCH_wormsim.json, and exit")
+	benchCompare := flag.String("bench-compare", "", "measure throughput and warn (exit 0 regardless) if it regressed >15% against this committed BENCH_wormsim.json")
 	flag.Parse()
+
+	if *benchCompare != "" {
+		runBenchCompare(*benchCompare)
+		return
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -91,14 +97,26 @@ func main() {
 }
 
 // benchReport is the schema of BENCH_wormsim.json: simulator core
-// throughput plus the wall time of each dynamic figure at the selected
-// fidelity and worker count.
+// throughput (serial and per shard count) plus the wall time of each
+// dynamic figure at the selected fidelity and worker count. The whole
+// report is produced in one deterministic pass — every measured run uses
+// the same seed and workload, so only the wall times vary between hosts.
 type benchReport struct {
 	Quick        bool          `json:"quick"`
 	Parallel     int           `json:"parallel"`
 	GOMAXPROCS   int           `json:"gomaxprocs"`
 	CyclesPerSec float64       `json:"cycles_per_sec"`
+	Sharded      []shardBench  `json:"sharded"`
 	Figures      []figureBench `json:"figures"`
+}
+
+// shardBench is the sharded engine's throughput on the identical
+// workload: the simulated cycle count matches the serial run exactly
+// (the engines are byte-identical), so cycles_per_sec isolates the
+// stepping engine's speed.
+type shardBench struct {
+	Shards       int     `json:"shards"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
 }
 
 type figureBench struct {
@@ -113,6 +131,16 @@ func runBench(out string, dopts experiments.DynamicOptions) {
 		Parallel:     dopts.Parallel,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		CyclesPerSec: float64(cycles) / secs,
+	}
+	for _, shards := range []int{2, 4, 8} {
+		scycles, ssecs := experiments.SimThroughputSharded(dopts.Seed, 200_000, shards)
+		if scycles != cycles {
+			fatal(fmt.Errorf("sharded bench run diverged: %d cycles at shards=%d, serial %d",
+				scycles, shards, cycles))
+		}
+		report.Sharded = append(report.Sharded, shardBench{
+			Shards: shards, CyclesPerSec: float64(scycles) / ssecs,
+		})
 	}
 	figs := []struct {
 		id string
@@ -139,6 +167,43 @@ func runBench(out string, dopts experiments.DynamicOptions) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%.0f cycles/sec)\n", path, report.CyclesPerSec)
+}
+
+// runBenchCompare is the CI bench-regression gate, warn-only by design:
+// wall-clock throughput on shared runners is too noisy to fail a build
+// on, but a >15% drop against the committed baseline is worth a loud
+// line in the log. The exit code is always 0.
+func runBenchCompare(path string) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var baseline benchReport
+	if err := json.Unmarshal(buf, &baseline); err != nil {
+		fatal(err)
+	}
+	if baseline.CyclesPerSec <= 0 {
+		fatal(fmt.Errorf("baseline %s has no cycles_per_sec", path))
+	}
+	seed := experiments.DynamicDefaults().Seed
+	cycles, secs := experiments.SimThroughput(seed, 200_000)
+	got := float64(cycles) / secs
+	ratio := got / baseline.CyclesPerSec
+	fmt.Printf("bench-compare: %.0f cycles/sec vs baseline %.0f (%.2fx)\n",
+		got, baseline.CyclesPerSec, ratio)
+	if ratio < 0.85 {
+		fmt.Printf("WARN: simulator throughput regressed >15%% against %s\n", path)
+	}
+	for _, sb := range baseline.Sharded {
+		scycles, ssecs := experiments.SimThroughputSharded(seed, 200_000, sb.Shards)
+		sgot := float64(scycles) / ssecs
+		sratio := sgot / sb.CyclesPerSec
+		fmt.Printf("bench-compare: shards=%d %.0f cycles/sec vs baseline %.0f (%.2fx)\n",
+			sb.Shards, sgot, sb.CyclesPerSec, sratio)
+		if sratio < 0.85 {
+			fmt.Printf("WARN: sharded (%d) throughput regressed >15%% against %s\n", sb.Shards, path)
+		}
+	}
 }
 
 func figBase(id string) string {

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"multicastnet/internal/routing"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+	"multicastnet/internal/wormsim"
+)
+
+// The beyond-paper scale study: the dissertation's simulations stop at an
+// 8x8 mesh; this study drives the sharded simulator across networks two
+// orders of magnitude larger — a 64x64 mesh, an 8-ary 4-cube and a
+// 65536-node hypercube — at shard counts {1, 2, 4, 8}, measuring
+// simulated cycles per wall-clock second. Every sharded run is also
+// checked field-for-field against its serial Result, so the study doubles
+// as a large-topology determinism audit.
+
+// ScaleWorkload is one fixed simulation workload of the study.
+type ScaleWorkload struct {
+	Name string
+	// Build constructs the topology (deferred: the 2^16-node hypercube
+	// state is only precomputed when the workload actually runs).
+	Build func() topology.Topology
+	// Scheme is the registry scheme routing the workload; plans are
+	// injected in dense CSR form through a shared plan cache.
+	Scheme string
+	// InterarrivalMicros is the per-node mean inter-arrival time, scaled
+	// with node count so the in-flight population stays comparable.
+	InterarrivalMicros float64
+	AvgDests           int
+	// MaxCycles is the fixed cycle budget; runs never converge early, so
+	// every engine simulates exactly the same workload.
+	MaxCycles int64
+}
+
+// ScaleOptions configure the study.
+type ScaleOptions struct {
+	Seed uint64
+	// ShardCounts are the sharded engine configurations measured against
+	// serial; nil selects {2, 4, 8}.
+	ShardCounts []int
+	// Workloads overrides the workload set; nil selects ScaleWorkloads.
+	Workloads []ScaleWorkload
+	// CycleFrac scales every workload's cycle budget (0 = 1.0) — the
+	// -quick knob.
+	CycleFrac float64
+	// Check runs the wormsim invariant audit inside every run.
+	Check bool
+}
+
+func (o ScaleOptions) shardCounts() []int {
+	if o.ShardCounts != nil {
+		return o.ShardCounts
+	}
+	return []int{2, 4, 8}
+}
+
+func (o ScaleOptions) workloads() []ScaleWorkload {
+	if o.Workloads != nil {
+		return o.Workloads
+	}
+	return ScaleWorkloads()
+}
+
+// ScaleDefaults are the committed-figure settings.
+func ScaleDefaults() ScaleOptions { return ScaleOptions{Seed: 1990} }
+
+// ScaleQuick shrinks the cycle budgets for smoke runs.
+func ScaleQuick() ScaleOptions { return ScaleOptions{Seed: 1990, CycleFrac: 0.15} }
+
+// ScaleWorkloads returns the default workload set. Budgets are sized so
+// the full study runs in minutes on one core.
+func ScaleWorkloads() []ScaleWorkload {
+	return []ScaleWorkload{
+		{
+			Name:               "mesh64x64",
+			Build:              func() topology.Topology { return topology.NewMesh2D(64, 64) },
+			Scheme:             "dual-path",
+			InterarrivalMicros: 10_000, // 4096 nodes: ~64x the 8x8 per-node load spacing
+			AvgDests:           10,
+			MaxCycles:          200_000,
+		},
+		{
+			Name:               "cube8ary4",
+			Build:              func() topology.Topology { return topology.NewKAryNCube(8, 4) },
+			Scheme:             "dual-path",
+			InterarrivalMicros: 10_000,
+			AvgDests:           10,
+			MaxCycles:          200_000,
+		},
+		{
+			Name:               "hypercube64k",
+			Build:              func() topology.Topology { return topology.NewHypercube(16) },
+			Scheme:             "multi-path",
+			InterarrivalMicros: 160_000, // 65536 nodes
+			AvgDests:           10,
+			MaxCycles:          40_000,
+		},
+	}
+}
+
+// ScalePoint is one measured (workload, shard-count) coordinate.
+type ScalePoint struct {
+	Workload string
+	// Shards is the engine configuration: 1 is the serial engine.
+	Shards       int
+	Cycles       int64
+	WallSecs     float64
+	CyclesPerSec float64
+	// Speedup is CyclesPerSec over the workload's serial CyclesPerSec.
+	Speedup float64
+	// Matched reports that the run's Result was field-for-field identical
+	// to the serial run (always true for the serial point itself).
+	Matched bool
+}
+
+// ScaleResult is the full study output.
+type ScaleResult struct {
+	GOMAXPROCS int
+	Points     []ScalePoint
+	Throughput *stats.Figure
+	Speedup    *stats.Figure
+}
+
+// scaleRun executes one workload under one engine configuration.
+func scaleRun(w ScaleWorkload, topo topology.Topology, route wormsim.RouteFunc,
+	shards int, o ScaleOptions) (wormsim.Result, int64, float64) {
+	budget := w.MaxCycles
+	if o.CycleFrac > 0 {
+		budget = int64(float64(budget) * o.CycleFrac)
+	}
+	cfg := wormsim.Config{
+		Topology:               topo,
+		Route:                  route,
+		MeanInterarrivalMicros: w.InterarrivalMicros,
+		AvgDests:               w.AvgDests,
+		Seed:                   stats.DeriveSeed(o.Seed, "scale/"+w.Name),
+		WarmupDeliveries:       50,
+		BatchSize:              100,
+		MinBatches:             1 << 30, // never converge: fixed cycle budget
+		MaxCycles:              budget,
+		Shards:                 shards,
+		Check:                  o.Check,
+	}
+	start := time.Now()
+	res, err := wormsim.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("scale %s shards=%d: %v", w.Name, shards, err))
+	}
+	return res, res.Cycles, time.Since(start).Seconds()
+}
+
+// ScaleStudy measures every workload at every shard count, serial first.
+// Runs execute sequentially — each one owns the machine, so the wall
+// times are comparable. A sharded run whose Result diverges from serial
+// panics: the study's timings are only meaningful for an engine that is
+// byte-identical to the reference.
+func ScaleStudy(o ScaleOptions) ScaleResult {
+	out := ScaleResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Throughput: &stats.Figure{ID: "Scale throughput",
+			Title:  "Simulator throughput vs shard count (beyond-paper topologies)",
+			XLabel: "shards", YLabel: "simulated cycles/sec"},
+		Speedup: &stats.Figure{ID: "Scale speedup",
+			Title:  "Sharded-engine speedup over serial (1.0 = serial)",
+			XLabel: "shards", YLabel: "speedup vs serial"},
+	}
+	for _, w := range o.workloads() {
+		topo := w.Build()
+		st, err := routing.SharedState(topo)
+		if err != nil {
+			panic(err)
+		}
+		r, err := routing.New(w.Scheme, st)
+		if err != nil {
+			panic(err)
+		}
+		route := wormsim.FlatRouteFuncOf(routing.Flat(r, routing.NewPlanCache(0)))
+
+		ts := out.Throughput.AddSeries(w.Name)
+		ss := out.Speedup.AddSeries(w.Name)
+		// Untimed warmup: populates the shared plan cache (and the
+		// allocator) so the timed serial run is not charged for one-time
+		// costs the sharded runs then inherit.
+		scaleRun(w, topo, route, 0, o)
+		serial, cycles, secs := scaleRun(w, topo, route, 0, o)
+		if serial.Delivered == 0 {
+			panic(fmt.Sprintf("scale %s: workload delivered nothing", w.Name))
+		}
+		base := float64(cycles) / secs
+		out.Points = append(out.Points, ScalePoint{
+			Workload: w.Name, Shards: 1, Cycles: cycles, WallSecs: secs,
+			CyclesPerSec: base, Speedup: 1, Matched: true,
+		})
+		ts.Add(1, base)
+		ss.Add(1, 1)
+		for _, shards := range o.shardCounts() {
+			res, cycles, secs := scaleRun(w, topo, route, shards, o)
+			if res != serial {
+				panic(fmt.Sprintf("scale %s shards=%d diverged from serial:\nserial:  %+v\nsharded: %+v",
+					w.Name, shards, serial, res))
+			}
+			cps := float64(cycles) / secs
+			out.Points = append(out.Points, ScalePoint{
+				Workload: w.Name, Shards: shards, Cycles: cycles, WallSecs: secs,
+				CyclesPerSec: cps, Speedup: cps / base, Matched: true,
+			})
+			ts.Add(float64(shards), cps)
+			ss.Add(float64(shards), cps/base)
+		}
+	}
+	return out
+}
+
+// SimThroughputSharded is SimThroughput under the sharded engine: the
+// identical 8x8-mesh workload stepped with the given shard count (0 or 1
+// is the serial engine). The simulated cycle count — and every statistic —
+// matches the serial run exactly; only the wall time may differ.
+func SimThroughputSharded(seed uint64, maxCycles int64, shards int) (cycles int64, secs float64) {
+	m := topology.NewMesh2D(8, 8)
+	route := wormsim.RouteFuncOf(mustRouter("dual-path", mustState(m), routing.Options{}))
+	start := time.Now()
+	res, err := wormsim.Run(wormsim.Config{
+		Topology:               m,
+		Route:                  route,
+		MeanInterarrivalMicros: 300,
+		AvgDests:               10,
+		Seed:                   seed,
+		WarmupDeliveries:       100,
+		BatchSize:              100,
+		MinBatches:             1 << 30, // never converge: run the full cycle budget
+		MaxCycles:              maxCycles,
+		Shards:                 shards,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res.Cycles, time.Since(start).Seconds()
+}

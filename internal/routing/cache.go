@@ -31,11 +31,27 @@ type PlanCache struct {
 	misses   atomic.Uint64
 }
 
+// cacheEntry is one cached plan in the representation its key encodes:
+// route form (plan) or dense CSR form (flat). Exactly one field is set.
+type cacheEntry struct {
+	plan Plan
+	flat *FlatPlan
+}
+
 type cacheShard struct {
 	mu    sync.Mutex
-	plans map[string]Plan
+	plans map[string]cacheEntry
 	fifo  []string // insertion order, for eviction
 }
+
+// Plan representation tags, appended to every cache key so a cache
+// populated with one representation never serves the other shape: a
+// pre-flattening consumer asking for the route form must not receive a
+// CSR entry, and vice versa.
+const (
+	reprPlan byte = 'p'
+	reprFlat byte = 'f'
+)
 
 // NewPlanCache returns a cache holding at most capacity plans (rounded
 // up to a multiple of the shard count). capacity <= 0 selects a default
@@ -47,7 +63,7 @@ func NewPlanCache(capacity int) *PlanCache {
 	perShard := (capacity + cacheShards - 1) / cacheShards
 	c := &PlanCache{perShard: perShard}
 	for i := range c.shards {
-		c.shards[i].plans = make(map[string]Plan)
+		c.shards[i].plans = make(map[string]cacheEntry)
 	}
 	return c
 }
@@ -83,20 +99,20 @@ func (c *PlanCache) shardFor(key string) *cacheShard {
 	return &c.shards[h&(cacheShards-1)]
 }
 
-func (c *PlanCache) get(key string) (Plan, bool) {
+func (c *PlanCache) get(key string) (cacheEntry, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	p, ok := s.plans[key]
+	e, ok := s.plans[key]
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
-	return p, ok
+	return e, ok
 }
 
-func (c *PlanCache) put(key string, p Plan) {
+func (c *PlanCache) put(key string, e cacheEntry) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -110,17 +126,20 @@ func (c *PlanCache) put(key string, p Plan) {
 		s.fifo = s.fifo[1:]
 		delete(s.plans, oldest)
 	}
-	s.plans[key] = p
+	s.plans[key] = e
 	s.fifo = append(s.fifo, key)
 }
 
-// planKey canonicalizes a multicast set into a cache key: the router
-// identity, the source, and the destinations in sorted order, all
-// varint-encoded. Destination order never changes a scheme's routes
-// (every scheme re-sorts by label), so sets that differ only in listing
-// order share one entry.
-func planKey(id string, k core.MulticastSet) string {
-	buf := make([]byte, 0, len(id)+1+(len(k.Dests)+1)*3)
+// planKey canonicalizes a multicast set into a cache key: the plan
+// representation tag, the router identity, the source, and the
+// destinations in sorted order, all varint-encoded. Destination order
+// never changes a scheme's routes (every scheme re-sorts by label), so
+// sets that differ only in listing order share one entry. The
+// representation tag keeps route-form and CSR entries for the same
+// (router, set) distinct.
+func planKey(id string, k core.MulticastSet, repr byte) string {
+	buf := make([]byte, 0, len(id)+2+(len(k.Dests)+1)*3)
+	buf = append(buf, repr)
 	buf = append(buf, id...)
 	buf = append(buf, 0)
 	buf = binary.AppendUvarint(buf, uint64(k.Source))
@@ -141,12 +160,12 @@ type cachedRouter struct {
 
 // PlanSet implements Router, consulting the cache first.
 func (r *cachedRouter) PlanSet(k core.MulticastSet) Plan {
-	key := planKey(r.Router.ID(), k)
-	if p, ok := r.cache.get(key); ok {
-		return p
+	key := planKey(r.Router.ID(), k, reprPlan)
+	if e, ok := r.cache.get(key); ok {
+		return e.plan
 	}
 	p := r.Router.PlanSet(k)
-	r.cache.put(key, p)
+	r.cache.put(key, cacheEntry{plan: p})
 	return p
 }
 

@@ -1,0 +1,125 @@
+package wormsim
+
+// Worm arena: retired worms — and their chans/levels/deliveries backing
+// arrays — are recycled through a freelist instead of being dropped to
+// the garbage collector, mirroring the heuristics.Workspace approach of
+// the static kernels. Together with the epoch-stamped node scratch (which
+// replaces the per-injection position and depth maps) the steady-state
+// inject/step loop allocates nothing once slice capacities and the
+// freelist have warmed up.
+//
+// Recycling safety: a retired worm may still be referenced by the wake
+// lists for one cycle (a release can wake a worm in the same cycle it
+// retires, and wokenNext is consumed at the next cycle's merge), and by
+// n.worms until the lazy compaction drops it. Worms therefore enter the
+// freelist only at compaction, and leave it only when at least two cycles
+// have passed since they retired — past every possible stale reference.
+
+// allocWorm returns a zeroed worm, reusing a retired one (and its slice
+// capacities) when the freelist has one old enough.
+func (n *Network) allocWorm() *worm {
+	if n.freeHead < len(n.free) {
+		w := n.free[n.freeHead]
+		if w.doneCycle+2 <= n.cycle {
+			n.free[n.freeHead] = nil
+			n.freeHead++
+			if n.freeHead > 64 && n.freeHead*2 > len(n.free) {
+				n.free = append(n.free[:0], n.free[n.freeHead:]...)
+				n.freeHead = 0
+			}
+			chans, levels, deliveries := w.chans[:0], w.levels[:0], w.deliveries[:0]
+			*w = worm{chans: chans, levels: levels, deliveries: deliveries}
+			return w
+		}
+	}
+	return &worm{}
+}
+
+// allocMcast returns a zeroed multicast record, reusing one whose worms
+// have all been recycled.
+func (n *Network) allocMcast() *mcastState {
+	if len(n.mcFree) > 0 {
+		mc := n.mcFree[len(n.mcFree)-1]
+		n.mcFree[len(n.mcFree)-1] = nil
+		n.mcFree = n.mcFree[:len(n.mcFree)-1]
+		*mc = mcastState{}
+		return mc
+	}
+	return &mcastState{}
+}
+
+// recycleWorm moves a compacted-out worm to the freelist and releases its
+// multicast record once the last referencing worm is gone.
+func (n *Network) recycleWorm(w *worm) {
+	if mc := w.mcast; mc != nil {
+		w.mcast = nil
+		mc.worms--
+		if mc.worms == 0 {
+			n.mcFree = append(n.mcFree, mc)
+		}
+	}
+	n.free = append(n.free, w)
+}
+
+// growLevels resizes a recycled levels slice to maxd frontiers, reusing
+// every level's channel and taken arrays.
+func growLevels(levels []treeLevel, maxd int) []treeLevel {
+	if cap(levels) < maxd {
+		levels = append(levels[:cap(levels)], make([]treeLevel, maxd-cap(levels))...)
+	}
+	levels = levels[:maxd]
+	for i := range levels {
+		levels[i].channels = levels[i].channels[:0]
+		levels[i].taken = levels[i].taken[:0]
+		levels[i].missing = 0
+		levels[i].queued = false
+	}
+	return levels
+}
+
+// sortWormsByID sorts a wake list in place by ascending worm id. Wake
+// lists are short and nearly sorted (releases fire in scan order), so an
+// insertion sort beats sort.Slice — and unlike sort.Slice it does not
+// allocate, keeping the steady-state step loop allocation-free.
+func sortWormsByID(ws []*worm) {
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && ws[j].id > w.id {
+			ws[j+1] = ws[j]
+			j--
+		}
+		ws[j+1] = w
+	}
+}
+
+// nodeMark stamps node as seen in the current scratch epoch with value v,
+// keeping the first value per epoch — the array-backed replacement for
+// the injector's first-occurrence position map and the tree-depth map.
+// It returns false when the node was already stamped this epoch.
+func (n *Network) nodeMark(node int, v int32) bool {
+	if n.scratchStamp[node] == n.scratchEpoch {
+		return false
+	}
+	n.scratchStamp[node] = n.scratchEpoch
+	n.scratchVal[node] = v
+	return true
+}
+
+// nodeVal returns the stamped value of node this epoch, or -1.
+func (n *Network) nodeVal(node int) int32 {
+	if n.scratchStamp[node] != n.scratchEpoch {
+		return -1
+	}
+	return n.scratchVal[node]
+}
+
+// beginScratch opens a fresh scratch epoch over the topology's nodes.
+func (n *Network) beginScratch() {
+	if n.scratchStamp == nil {
+		nodes := n.topo.Nodes()
+		n.scratchStamp = make([]int64, nodes)
+		n.scratchVal = make([]int32, nodes)
+	}
+	n.scratchEpoch++
+}

@@ -1,0 +1,72 @@
+package wormsim
+
+import (
+	"testing"
+
+	"multicastnet/internal/routing"
+	"multicastnet/internal/topology"
+)
+
+// arenaWorkload precomputes a mixed path/tree injection workload on an
+// 8x8 mesh so the measurement loop exercises only the simulator — no
+// routing, no cache keys, no workload generation.
+func arenaWorkload(t testing.TB) (*topology.Mesh2D, []routing.Plan) {
+	t.Helper()
+	m := topology.NewMesh2D(8, 8)
+	st, err := routing.SharedState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []routing.Plan
+	for _, w := range []struct {
+		scheme string
+		src    topology.NodeID
+		dests  []topology.NodeID
+	}{
+		{"dual-path", 0, []topology.NodeID{9, 18, 27, 36, 63}},
+		{"tree", 5, []topology.NodeID{12, 21, 30, 39, 60}},
+		{"multi-path", 63, []topology.NodeID{0, 7, 28, 56}},
+		{"tree", 36, []topology.NodeID{0, 7, 56, 63}},
+		{"dual-path", 28, []topology.NodeID{1, 34, 62}},
+	} {
+		r, err := routing.New(w.scheme, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := r.Plan(w.src, w.dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	return m, plans
+}
+
+// TestSteadyStateAllocationFree pins the arena contract: once slice
+// capacities, the intern table and the worm freelist have warmed up, an
+// inject-and-drain round allocates nothing — worms, multicast records,
+// tree levels and wake lists are all recycled.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	m, plans := arenaWorkload(t)
+	for _, shards := range []int{0, 4} {
+		net := NewNetwork(m)
+		if shards > 1 {
+			net.SetShards(shards)
+			defer net.Close()
+		}
+		round := func() {
+			for _, p := range plans {
+				net.InjectMulticast(p.Paths, p.Trees, 16)
+			}
+			for net.ActiveWorms() > 0 {
+				net.Step()
+			}
+		}
+		for i := 0; i < 4; i++ {
+			round() // warm capacities and the freelist
+		}
+		if avg := testing.AllocsPerRun(20, round); avg > 0 {
+			t.Errorf("shards=%d: steady-state round allocates %.1f objects, want 0", shards, avg)
+		}
+	}
+}

@@ -121,8 +121,8 @@ func (n *Network) CheckInvariants() error {
 					id, st.owner.id)
 			}
 		}
-		seen := make(map[*worm]bool, len(st.queue))
-		for _, q := range st.queue {
+		seen := make(map[*worm]bool, len(st.waiters()))
+		for _, q := range st.waiters() {
 			if q.done {
 				return fmt.Errorf("wormsim: retired worm %d still queued on channel %d", q.id, id)
 			}

@@ -6,15 +6,18 @@ import (
 
 	"multicastnet/internal/core"
 	"multicastnet/internal/dfr"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/stats"
 	"multicastnet/internal/topology"
 )
 
 // Injection is the routed form of one multicast, as produced by a routing
-// scheme: any mix of path routes and tree routes.
+// scheme: any mix of path routes and tree routes, or their dense CSR form
+// (Flat takes precedence when set — see InjectFlat).
 type Injection struct {
 	Paths []dfr.PathRoute
 	Trees []dfr.TreeRoute
+	Flat  *routing.FlatPlan
 }
 
 // RouteFunc routes a multicast set into worms. It is how the Chapter 6
@@ -68,6 +71,11 @@ type Config struct {
 	// StallLimit is the no-progress cycle count after which the run is
 	// declared deadlocked. Zero selects a safe default.
 	StallLimit int64
+
+	// Shards splits in-run stepping across worker goroutines — the
+	// region-partitioned parallel engine (shard.go). 0 or 1 selects the
+	// serial engine; results are byte-identical at any shard count.
+	Shards int
 
 	// Faults schedules mid-run hardware failures, sorted by Cycle. Each
 	// activation fails the matching channels (killing the worms caught on
@@ -197,6 +205,10 @@ func Run(cfg Config) (Result, error) {
 	topo := cfg.Topology
 	rng := stats.NewRand(cfg.Seed)
 	net := NewNetwork(topo)
+	if cfg.Shards > 1 {
+		net.SetShards(cfg.Shards)
+		defer net.Close()
+	}
 	lengthFlits := cfg.MessageBytes / cfg.FlitBytes
 	if lengthFlits < 1 {
 		lengthFlits = 1
@@ -274,7 +286,11 @@ func Run(cfg Config) (Result, error) {
 			} else {
 				inj = route(k)
 			}
-			net.InjectMulticast(inj.Paths, inj.Trees, lengthFlits)
+			if inj.Flat != nil {
+				net.InjectFlat(inj.Flat, lengthFlits)
+			} else {
+				net.InjectMulticast(inj.Paths, inj.Trees, lengthFlits)
+			}
 			res.MulticastsSent++
 			spawns.push(ev)
 		}

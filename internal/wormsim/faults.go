@@ -47,7 +47,7 @@ func (n *Network) FailWhere(pred func(c dfr.Channel) bool) int {
 		}
 		st.dead = true
 		collect(st.owner)
-		for _, q := range st.queue {
+		for _, q := range st.waiters() {
 			collect(q)
 		}
 	}
@@ -116,13 +116,20 @@ func (n *Network) killWorm(w *worm) {
 // waiting behind w).
 func (n *Network) dequeue(id int32, w *worm) {
 	st := &n.chans[id]
-	for i, x := range st.queue {
+	live := st.waiters()
+	for i, x := range live {
 		if x == w {
-			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			st.queue = append(st.queue[:st.qhead+i], live[i+1:]...)
 			break
 		}
 	}
-	if !st.dead && st.owner == nil && len(st.queue) > 0 {
-		n.wake(st.queue[0])
+	if st.qhead == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.qhead = 0
+	}
+	if !st.dead && st.owner == nil {
+		if head := st.front(); head != nil {
+			n.wake(head)
+		}
 	}
 }

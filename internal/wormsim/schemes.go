@@ -23,6 +23,16 @@ func RouteFuncOf(r routing.Router) RouteFunc {
 	}
 }
 
+// FlatRouteFuncOf adapts a routing.FlatRouter to the simulator: plans are
+// injected in dense CSR form (InjectFlat), skipping the per-injection
+// position and depth maps of the route form. Behaviour is identical to
+// RouteFuncOf over the same underlying router.
+func FlatRouteFuncOf(r *routing.FlatRouter) RouteFunc {
+	return func(k core.MulticastSet) Injection {
+		return Injection{Flat: r.FlatSet(k)}
+	}
+}
+
 // LiveRouteFuncOf adapts a routing.LiveRouter to the simulator's
 // congestion-aware LiveRouteFunc.
 func LiveRouteFuncOf(r routing.LiveRouter) LiveRouteFunc {

@@ -43,9 +43,9 @@ package wormsim
 
 import (
 	"fmt"
-	"sort"
 
 	"multicastnet/internal/dfr"
+	"multicastnet/internal/routing"
 	"multicastnet/internal/topology"
 )
 
@@ -101,7 +101,13 @@ type worm struct {
 	// active list; waking is idempotent per cycle via wakePending.
 	parked      bool
 	wakePending bool
-	done        bool // retired; awaiting compaction out of n.worms
+	done        bool  // retired; awaiting compaction out of n.worms
+	doneCycle   int64 // cycle of retirement, gating freelist reuse (arena.go)
+
+	// mask is the set of shard regions (bit per worker) the worm's next
+	// advance touches; maintained only when sharded stepping is enabled
+	// (see shard.go) and recomputed whenever the head moves.
+	mask uint64
 
 	mcast *mcastState
 }
@@ -113,12 +119,17 @@ type mcastState struct {
 	size      int // destination count of the whole multicast
 	remaining int // undelivered destinations across all worms
 	lost      int // destinations lost to fault-killed worms
+	worms     int // worms still referencing this record (arena recycling)
 }
 
-// chanState is the occupancy and FIFO wait queue of one channel.
+// chanState is the occupancy and FIFO wait queue of one channel. The
+// queue is head-indexed: dequeuing advances qhead instead of reslicing,
+// so the backing array's capacity is kept and steady-state wait episodes
+// allocate nothing (the array resets in place whenever the queue drains).
 type chanState struct {
 	owner *worm
 	queue []*worm
+	qhead int
 	dead  bool // failed hardware: never grantable again
 }
 
@@ -128,21 +139,39 @@ func (c *chanState) enqueue(w *worm) {
 	c.queue = append(c.queue, w)
 }
 
+// waiters is the live FIFO content, front first.
+func (c *chanState) waiters() []*worm {
+	return c.queue[c.qhead:]
+}
+
+// front returns the first waiter, or nil.
+func (c *chanState) front() *worm {
+	if c.qhead < len(c.queue) {
+		return c.queue[c.qhead]
+	}
+	return nil
+}
+
 // availableTo reports whether w may take the channel now: alive, free,
 // and w is first in line (or the queue is empty because w never had to
 // wait).
 func (c *chanState) availableTo(w *worm) bool {
-	return !c.dead && c.owner == nil && (len(c.queue) == 0 || c.queue[0] == w)
+	return !c.dead && c.owner == nil && (c.qhead == len(c.queue) || c.queue[c.qhead] == w)
 }
 
 // availableToQueued is availableTo for a worm known to be enqueued.
 func (c *chanState) availableToQueued(w *worm) bool {
-	return !c.dead && c.owner == nil && len(c.queue) > 0 && c.queue[0] == w
+	return !c.dead && c.owner == nil && c.qhead < len(c.queue) && c.queue[c.qhead] == w
 }
 
 func (c *chanState) take(w *worm) {
-	if len(c.queue) > 0 && c.queue[0] == w {
-		c.queue = c.queue[1:]
+	if c.qhead < len(c.queue) && c.queue[c.qhead] == w {
+		c.queue[c.qhead] = nil
+		c.qhead++
+		if c.qhead == len(c.queue) {
+			c.queue = c.queue[:0]
+			c.qhead = 0
+		}
 	}
 	c.owner = w
 }
@@ -178,6 +207,20 @@ type Network struct {
 	// future-interned — by FailWhere; killed counts fault-killed worms.
 	deadPreds []func(dfr.Channel) bool
 	killed    int
+
+	// Sharded parallel stepping (shard.go); the zero value is the serial
+	// engine.
+	shard shardState
+
+	// Worm arena (arena.go): retired worms and multicast records are
+	// recycled; the epoch-stamped node scratch replaces per-injection
+	// position/depth maps.
+	free         []*worm
+	freeHead     int
+	mcFree       []*mcastState
+	scratchStamp []int64
+	scratchVal   []int32
+	scratchEpoch int64
 
 	// Observers.
 	onDelivery       func(dest topology.NodeID, latencyCycles int64)
@@ -263,6 +306,10 @@ func (n *Network) addWorm(w *worm) {
 	n.worms = append(n.worms, w)
 	n.inFlight++
 	n.active = append(n.active, w)
+	w.mcast.worms++
+	if n.shard.n > 1 {
+		w.mask = n.regionMask(w)
+	}
 }
 
 // InjectMulticast injects one multicast routed as a set of path routes
@@ -272,7 +319,8 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 	if lengthFlits < 1 {
 		panic("wormsim: message must have at least one flit")
 	}
-	mc := &mcastState{spawned: n.cycle}
+	mc := n.allocMcast()
+	mc.spawned = n.cycle
 	for _, p := range paths {
 		mc.size += len(p.Dests)
 	}
@@ -286,32 +334,28 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 			// forbids.
 			continue
 		}
-		chans := make([]int32, len(p.Nodes)-1)
-		for i := 1; i < len(p.Nodes); i++ {
-			chans[i-1] = n.intern(dfr.Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.HopClass(i - 1)})
-		}
-		w := &worm{
-			kind:     pathWorm,
-			id:       n.nextID,
-			chans:    chans,
-			length:   lengthFlits,
-			spawned:  n.cycle,
-			queuedAt: -1,
-			mcast:    mc,
-		}
+		w := n.allocWorm()
+		w.kind = pathWorm
+		w.id = n.nextID
 		n.nextID++
-		pos := make(map[topology.NodeID]int, len(p.Nodes))
+		w.length = lengthFlits
+		w.spawned = n.cycle
+		w.queuedAt = -1
+		w.mcast = mc
+		for i := 1; i < len(p.Nodes); i++ {
+			w.chans = append(w.chans, n.intern(dfr.Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.HopClass(i - 1)}))
+		}
+		// First-occurrence path positions via the epoch scratch.
+		n.beginScratch()
 		for i, node := range p.Nodes {
-			if _, ok := pos[node]; !ok {
-				pos[node] = i
-			}
+			n.nodeMark(int(node), int32(i))
 		}
 		for _, d := range p.Dests {
-			idx, ok := pos[d]
-			if !ok || idx == 0 {
+			idx := n.nodeVal(int(d))
+			if idx <= 0 {
 				panic(fmt.Sprintf("wormsim: path does not visit destination %d", d))
 			}
-			w.deliveries = append(w.deliveries, delivery{dest: d, idx: idx})
+			w.deliveries = append(w.deliveries, delivery{dest: d, idx: int(idx)})
 			w.undeliv++
 			mc.remaining++
 		}
@@ -325,41 +369,126 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 	}
 }
 
+// InjectFlat injects one multicast from its dense CSR plan
+// (routing.Flatten): positions and depths were resolved at flattening
+// time, so injection walks packed arrays with no per-injection maps.
+// Behaviour is identical to InjectMulticast of the originating plan.
+func (n *Network) InjectFlat(fp *routing.FlatPlan, lengthFlits int) {
+	if lengthFlits < 1 {
+		panic("wormsim: message must have at least one flit")
+	}
+	mc := n.allocMcast()
+	mc.spawned = n.cycle
+	mc.size = int(fp.TotalDests)
+	for p := 0; p < fp.Paths(); p++ {
+		w := n.allocWorm()
+		w.kind = pathWorm
+		w.id = n.nextID
+		n.nextID++
+		w.length = lengthFlits
+		w.spawned = n.cycle
+		w.queuedAt = -1
+		w.mcast = mc
+		lo, hi := fp.PathOff[p], fp.PathOff[p+1]
+		clo := lo - int32(p)
+		for i := lo + 1; i < hi; i++ {
+			w.chans = append(w.chans, n.intern(dfr.Channel{
+				From:  topology.NodeID(fp.PathNodes[i-1]),
+				To:    topology.NodeID(fp.PathNodes[i]),
+				Class: int(fp.PathClass[clo+i-lo-1]),
+			}))
+		}
+		dlo, dhi := fp.PathDestOff[p], fp.PathDestOff[p+1]
+		for d := dlo; d < dhi; d++ {
+			w.deliveries = append(w.deliveries, delivery{
+				dest: topology.NodeID(fp.PathDest[d]),
+				idx:  int(fp.PathDestPos[d]),
+			})
+			w.undeliv++
+			mc.remaining++
+		}
+		n.addWorm(w)
+	}
+	for t := 0; t < fp.Trees(); t++ {
+		w := n.allocWorm()
+		w.kind = treeWorm
+		w.id = n.nextID
+		n.nextID++
+		w.length = lengthFlits
+		w.spawned = n.cycle
+		w.queuedAt = -1
+		w.mcast = mc
+		llo, lhi := fp.TreeOff[t], fp.TreeOff[t+1]
+		w.levels = growLevels(w.levels, int(lhi-llo))
+		for l := llo; l < lhi; l++ {
+			clo, chi := fp.TreeLevelOff[l], fp.TreeLevelOff[l+1]
+			lv := &w.levels[l-llo]
+			for c := clo; c < chi; c++ {
+				lv.channels = append(lv.channels, n.intern(dfr.Channel{
+					From:  topology.NodeID(fp.TreeFrom[c]),
+					To:    topology.NodeID(fp.TreeTo[c]),
+					Class: int(fp.TreeClass[c]),
+				}))
+			}
+			for len(lv.taken) < len(lv.channels) {
+				lv.taken = append(lv.taken, false)
+			}
+			lv.missing = len(lv.channels)
+		}
+		dlo, dhi := fp.TreeDestOff[t], fp.TreeDestOff[t+1]
+		for d := dlo; d < dhi; d++ {
+			w.deliveries = append(w.deliveries, delivery{
+				dest: topology.NodeID(fp.TreeDest[d]),
+				idx:  int(fp.TreeDestDepth[d]),
+			})
+			w.undeliv++
+			mc.remaining++
+		}
+		n.addWorm(w)
+	}
+}
+
 // buildTreeWorm converts a TreeRoute into a tree worm with per-depth
-// frontier levels.
+// frontier levels. Node depths come from the epoch scratch (edges are
+// parent-before-child, so one pass resolves them) and the worm's level
+// and channel arrays are arena-recycled.
 func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mc *mcastState) *worm {
-	depths := t.Depths()
+	n.beginScratch()
+	n.nodeMark(int(t.Root), 0)
 	maxd := 0
 	for _, e := range t.Edges {
-		if depths[e.To] > maxd {
-			maxd = depths[e.To]
+		d := n.nodeVal(int(e.From)) + 1
+		n.nodeMark(int(e.To), d)
+		if int(d) > maxd {
+			maxd = int(d)
 		}
 	}
-	levels := make([]treeLevel, maxd)
+	w := n.allocWorm()
+	w.kind = treeWorm
+	w.id = n.nextID
+	n.nextID++
+	w.length = lengthFlits
+	w.spawned = n.cycle
+	w.queuedAt = -1
+	w.mcast = mc
+	w.levels = growLevels(w.levels, maxd)
 	for _, e := range t.Edges {
-		l := &levels[depths[e.To]-1]
+		l := &w.levels[n.nodeVal(int(e.To))-1]
 		l.channels = append(l.channels, n.intern(e))
 	}
-	for i := range levels {
-		levels[i].taken = make([]bool, len(levels[i].channels))
-		levels[i].missing = len(levels[i].channels)
+	for i := range w.levels {
+		l := &w.levels[i]
+		for len(l.taken) < len(l.channels) {
+			l.taken = append(l.taken, false)
+		}
+		l.missing = len(l.channels)
 	}
-	w := &worm{
-		kind:     treeWorm,
-		id:       n.nextID,
-		levels:   levels,
-		length:   lengthFlits,
-		spawned:  n.cycle,
-		queuedAt: -1,
-		mcast:    mc,
-	}
-	n.nextID++
 	for _, d := range t.Dests {
-		dep, ok := depths[d]
-		if !ok || dep == 0 {
+		dep := n.nodeVal(int(d))
+		if dep <= 0 {
 			panic(fmt.Sprintf("wormsim: tree does not reach destination %d", d))
 		}
-		w.deliveries = append(w.deliveries, delivery{dest: d, idx: dep})
+		w.deliveries = append(w.deliveries, delivery{dest: d, idx: int(dep)})
 		w.undeliv++
 		mc.remaining++
 	}
@@ -375,8 +504,8 @@ func (n *Network) release(id int32, w *worm) {
 		return
 	}
 	st.owner = nil
-	if len(st.queue) > 0 {
-		n.wake(st.queue[0])
+	if w := st.front(); w != nil {
+		n.wake(w)
 	}
 }
 
@@ -402,38 +531,12 @@ func (n *Network) wake(w *worm) {
 // last cycle) merged, in ascending id order, with worms woken by channel
 // releases. Parked worms cost nothing until a release reaches them.
 func (n *Network) Step() bool {
+	if n.shard.n > 1 {
+		return n.stepSharded()
+	}
 	n.cycle++
 	n.progress = false
-
-	// Fold last cycle's deferred wakes into the active list, preserving
-	// ascending id order.
-	if len(n.wokenNext) > 0 {
-		sort.Slice(n.wokenNext, func(i, j int) bool { return n.wokenNext[i].id < n.wokenNext[j].id })
-		merged := n.nextBuf[:0]
-		i, j := 0, 0
-		for i < len(n.active) && j < len(n.wokenNext) {
-			if n.active[i].id < n.wokenNext[j].id {
-				merged = append(merged, n.active[i])
-				i++
-			} else {
-				w := n.wokenNext[j]
-				w.wakePending = false
-				w.parked = false
-				merged = append(merged, w)
-				j++
-			}
-		}
-		merged = append(merged, n.active[i:]...)
-		for ; j < len(n.wokenNext); j++ {
-			w := n.wokenNext[j]
-			w.wakePending = false
-			w.parked = false
-			merged = append(merged, w)
-		}
-		n.nextBuf = n.active[:0]
-		n.active = merged
-		n.wokenNext = n.wokenNext[:0]
-	}
+	n.mergeWokenNext()
 
 	n.inStep = true
 	next := n.nextBuf[:0]
@@ -472,6 +575,40 @@ func (n *Network) Step() bool {
 	return n.progress
 }
 
+// mergeWokenNext folds last cycle's deferred wakes into the active list,
+// preserving ascending id order. Shared by the serial and sharded step
+// paths.
+func (n *Network) mergeWokenNext() {
+	if len(n.wokenNext) == 0 {
+		return
+	}
+	sortWormsByID(n.wokenNext)
+	merged := n.nextBuf[:0]
+	i, j := 0, 0
+	for i < len(n.active) && j < len(n.wokenNext) {
+		if n.active[i].id < n.wokenNext[j].id {
+			merged = append(merged, n.active[i])
+			i++
+		} else {
+			w := n.wokenNext[j]
+			w.wakePending = false
+			w.parked = false
+			merged = append(merged, w)
+			j++
+		}
+	}
+	merged = append(merged, n.active[i:]...)
+	for ; j < len(n.wokenNext); j++ {
+		w := n.wokenNext[j]
+		w.wakePending = false
+		w.parked = false
+		merged = append(merged, w)
+	}
+	n.nextBuf = n.active[:0]
+	n.active = merged
+	n.wokenNext = n.wokenNext[:0]
+}
+
 // retire removes a drained worm from the in-flight accounting; the worms
 // list is compacted lazily once half of it is dead. Idempotent: a worm
 // killed by a fault mid-advance is already retired when Step sees it.
@@ -480,12 +617,15 @@ func (n *Network) retire(w *worm) {
 		return
 	}
 	w.done = true
+	w.doneCycle = n.cycle
 	n.inFlight--
 	if dead := len(n.worms) - n.inFlight; dead > 32 && dead > n.inFlight {
 		live := n.worms[:0]
 		for _, v := range n.worms {
 			if !v.done {
 				live = append(live, v)
+			} else {
+				n.recycleWorm(v)
 			}
 		}
 		for i := len(live); i < len(n.worms); i++ {
@@ -665,7 +805,7 @@ func (n *Network) DetectDeadlock() []*worm {
 				adj[i] = append(adj[i], j)
 			}
 		}
-		for _, q := range st.queue {
+		for _, q := range st.waiters() {
 			if q == from {
 				break
 			}
