@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-regression results fuzz check-fault check-scale
+.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-regression results fuzz check-fault check-scale check-churn
 
 ## check: everything CI runs — format, vet, build, race tests, quick benchmarks
 check: fmt vet build race bench
@@ -71,8 +71,25 @@ check-scale:
 	$(GO) test -run 'TestScaleStudySmall|TestDynamicFigureShardsByteIdentical|TestFaultFiguresShardsByteIdentical' ./internal/experiments
 	$(GO) run ./cmd/mcscale -quick -out $$(mktemp -d)
 
+## check-churn: the incremental-topology acceptance suite — churn
+## equivalence (live delta-driven router vs static rebuild at every
+## epoch), targeted cache invalidation, the delta-driven simulator
+## bridge, the reduced churn study, and byte-identity of every
+## deterministic mcchurn output across -parallel/-shards
+check-churn:
+	$(GO) test -run 'TestChurnEquivalence|TestLiveRouterTargetedInvalidation|TestMaskedStateMemo|TestPlanDeltas|TestSimSchedule' ./internal/fault
+	$(GO) test -run 'TestChurnStudySmall' ./internal/experiments
+	@a=$$(mktemp -d); b=$$(mktemp -d); \
+	$(GO) run ./cmd/mcchurn -quick -parallel 1 -out $$a >/dev/null; \
+	$(GO) run ./cmd/mcchurn -quick -parallel 4 -shards 4 -out $$b >/dev/null; \
+	for f in churn_hitrate.txt churn_hitrate.csv churn_evictions.txt churn_evictions.csv churn_sim.txt; do \
+		cmp $$a/$$f $$b/$$f || { echo "check-churn: $$f differs across -parallel/-shards"; exit 1; }; \
+	done; \
+	echo "check-churn: deterministic mcchurn outputs byte-identical across -parallel/-shards"
+
 ## results: regenerate every table and figure at full fidelity
 results:
 	$(GO) run ./cmd/mcfigures -out results
 	$(GO) run ./cmd/mcfault -out results
 	$(GO) run ./cmd/mcscale -out results
+	$(GO) run ./cmd/mcchurn -out results

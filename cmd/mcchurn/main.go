@@ -1,0 +1,148 @@
+// Command mcchurn runs the churn study: online re-planning under a
+// continuous fault/repair delta stream on a 64x64 mesh and a 4096-node
+// hypercube. It measures plan-cache hit rate under targeted invalidation
+// versus the nuke-everything baseline (committed figures), per-delta
+// service-restoration latency for the incremental LiveRouter path versus
+// a full masked-state rebuild (churn_study.txt), and drives a dynamic
+// wormhole simulation whose mid-run fault epochs re-plan through the same
+// delta path (churn_sim.txt).
+//
+// Every committed output except the wall-clock timings in churn_study.txt
+// is byte-identical at any -parallel and -shards value.
+//
+// Usage:
+//
+//	mcchurn -out results            # write churn_hitrate/churn_evictions (txt+csv), churn_sim.txt, churn_study.txt
+//	mcchurn -quick                  # reduced stream and cycle budgets
+//	mcchurn -parallel 4 -shards 4   # worker/shard counts (figures unchanged)
+//	mcchurn -csv                    # emit CSV on stdout instead of files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"multicastnet/internal/experiments"
+	"multicastnet/internal/stats"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "reduced stream and cycle budgets")
+	seed := flag.Uint64("seed", 1990, "study seed")
+	csv := flag.Bool("csv", false, "emit CSV on stdout instead of writing files")
+	parallel := flag.Int("parallel", 0, "sweep workers for the counting passes (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "step the simulator runs with the sharded engine (0/1 = serial; outputs are byte-identical)")
+	simcheck := flag.Bool("simcheck", false, "run wormsim invariant checks inside the simulator runs")
+	flag.Parse()
+
+	opts := experiments.ChurnDefaults()
+	if *quick {
+		opts = experiments.ChurnQuick()
+	}
+	opts.Seed = *seed
+	opts.Parallel = *parallel
+	opts.Shards = *shards
+	opts.Check = *simcheck
+
+	res := experiments.ChurnStudy(opts)
+
+	if *csv {
+		for _, fig := range []*stats.Figure{res.HitRate, res.Evictions} {
+			if err := fig.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, fig := range []*stats.Figure{res.HitRate, res.Evictions} {
+		base := strings.ReplaceAll(strings.ToLower(fig.ID), " ", "_")
+		writeFigure(*out, base+".txt", fig, false)
+		writeFigure(*out, base+".csv", fig, true)
+		fmt.Printf("wrote %s\n", base)
+	}
+	writeSim(*out, res)
+	fmt.Printf("wrote churn_sim.txt\n")
+	writeSummary(*out, res)
+	fmt.Printf("wrote churn_study.txt (gomaxprocs=%d)\n", res.GOMAXPROCS)
+}
+
+// writeSim records the delta-driven simulator runs' delivery accounting —
+// deterministic fields only, so the file is byte-identical at any
+// -parallel/-shards combination.
+func writeSim(dir string, res experiments.ChurnResult) {
+	f, err := os.Create(filepath.Join(dir, "churn_sim.txt"))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "Delta-driven dynamic simulation under churn\n")
+	fmt.Fprintf(f, "Mid-run fault epochs kill channels inside the wormhole engine and\n")
+	fmt.Fprintf(f, "re-plan through one fault.LiveRouter advanced by the same deltas\n")
+	fmt.Fprintf(f, "(fault.SimSchedule). Deterministic at any shard count.\n\n")
+	fmt.Fprintf(f, "%-14s %7s %9s %10s %7s %7s %9s %10s\n",
+		"workload", "epochs", "sent", "delivered", "lost", "killed", "cycles", "deadlock")
+	for _, s := range res.Sims {
+		fmt.Fprintf(f, "%-14s %7d %9d %10d %7d %7d %9d %10v\n",
+			s.Workload, s.Epochs, s.MulticastsSent, s.Delivered, s.Lost,
+			s.WormsKilled, s.Cycles, s.Deadlocked)
+	}
+}
+
+// writeSummary records the wall-clock comparison; timings vary run to
+// run, so this file is excluded from the byte-identity check.
+func writeSummary(dir string, res experiments.ChurnResult) {
+	f, err := os.Create(filepath.Join(dir, "churn_study.txt"))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "Churn study: incremental delta application vs full rebuild\n")
+	fmt.Fprintf(f, "gomaxprocs: %d\n", res.GOMAXPROCS)
+	fmt.Fprintf(f, "cpus: %d\n\n", runtime.NumCPU())
+	fmt.Fprintf(f, "Per delta, both paths restore full working-set service: the\n")
+	fmt.Fprintf(f, "incremental path patches the live state in O(|delta|) and re-plans\n")
+	fmt.Fprintf(f, "only the flows targeted invalidation evicted; the rebuild path\n")
+	fmt.Fprintf(f, "reconstructs the masked topology and routing state from scratch\n")
+	fmt.Fprintf(f, "(memo bypassed) and re-plans every flow — the pre-refactor cost of\n")
+	fmt.Fprintf(f, "any mask change.\n\n")
+	fmt.Fprintf(f, "%-14s %6s %6s %12s %12s %8s %10s %10s\n",
+		"workload", "steps", "flows", "inc_ms", "rebuild_ms", "speedup", "hit_tgt", "hit_nuke")
+	for _, t := range res.Timings {
+		fmt.Fprintf(f, "%-14s %6d %6d %12.2f %12.2f %8.1f %10.3f %10.3f\n",
+			t.Workload, t.Steps, t.WorkingSet, t.IncrementalMs, t.RebuildMs,
+			t.Speedup, t.TargetedHitRate, t.NukeHitRate)
+	}
+	fmt.Fprintf(f, "\nhit_tgt/hit_nuke are the final cumulative cache hit rates under\n")
+	fmt.Fprintf(f, "targeted and nuke-everything invalidation (also plotted step by step\n")
+	fmt.Fprintf(f, "in churn_hitrate); they are deterministic, the millisecond columns\n")
+	fmt.Fprintf(f, "are wall-clock and vary run to run.\n")
+}
+
+func writeFigure(dir, name string, fig *stats.Figure, csv bool) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if csv {
+		err = fig.WriteCSV(f)
+	} else {
+		err = fig.WriteTable(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcchurn:", err)
+	os.Exit(1)
+}

@@ -58,6 +58,30 @@ func main() {
 	opts.Shards = *shards
 	opts.Check = *simcheck
 
+	// Surface each figure sweep's plan-cache accounting. The counts
+	// depend on sweep scheduling (parallel workers racing to plan the
+	// same multicast both miss), so they accompany the output rather
+	// than being part of any committed figure.
+	type cacheLine struct {
+		figure string
+		stats  routing.CacheStats
+	}
+	var cacheLines []cacheLine
+	experiments.FigureCacheStats = func(figure string, s routing.CacheStats) {
+		cacheLines = append(cacheLines, cacheLine{figure, s})
+	}
+	printCacheLines := func() {
+		if *csv || len(cacheLines) == 0 {
+			return
+		}
+		fmt.Printf("plan cache per figure sweep:\n")
+		fmt.Printf("%-14s %8s %8s %10s %9s\n", "figure", "hits", "misses", "evictions", "hit_rate")
+		for _, l := range cacheLines {
+			fmt.Printf("%-14s %8d %8d %10d %9.3f\n",
+				l.figure, l.stats.Hits, l.stats.Misses, l.stats.Evictions, l.stats.HitRate())
+		}
+	}
+
 	figs := map[string]func(experiments.DynamicOptions) *stats.Figure{
 		"7.8":  experiments.Fig78LatencyVsLoadDouble,
 		"7.9":  experiments.Fig79LatencyVsDestsDouble,
@@ -96,14 +120,17 @@ func main() {
 			os.Exit(1)
 		}
 		emit(fig)
+		printCacheLines()
 		return
 	}
 
 	if *figID != "" {
 		run(*figID)
+		printCacheLines()
 		return
 	}
 	for _, id := range order {
 		run(id)
 	}
+	printCacheLines()
 }

@@ -43,7 +43,7 @@ func main() {
 	opts.Shards = *shards
 	opts.Check = *simcheck
 
-	delivery, latency := experiments.FaultFigures(opts)
+	delivery, latency, cacheStats := experiments.FaultFiguresStats(opts)
 
 	if *csv {
 		for _, fig := range []*stats.Figure{delivery, latency} {
@@ -61,6 +61,22 @@ func main() {
 		writeFigure(*out, base+".txt", fig, false)
 		writeFigure(*out, base+".csv", fig, true)
 		fmt.Printf("wrote %s\n", base)
+	}
+	printCacheStats(cacheStats)
+}
+
+// printCacheStats reports the retry path's plan-cache accounting: hits
+// are attempts served by a surviving cached plan, invalidations are
+// entries evicted by fault deltas (targeted: only plans touching dead
+// channels). The sums are deterministic for any -parallel/-shards.
+func printCacheStats(cs []experiments.SchemeCacheStats) {
+	fmt.Printf("\nplan cache (summed over all fault points):\n")
+	fmt.Printf("%-12s %8s %8s %10s %13s %9s\n",
+		"scheme", "hits", "misses", "evictions", "invalidations", "hit_rate")
+	for _, c := range cs {
+		fmt.Printf("%-12s %8d %8d %10d %13d %9.3f\n",
+			c.Scheme, c.Stats.Hits, c.Stats.Misses, c.Stats.Evictions,
+			c.Stats.Invalidations, c.Stats.HitRate())
 	}
 }
 

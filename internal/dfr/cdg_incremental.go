@@ -1,0 +1,214 @@
+package dfr
+
+import (
+	"multicastnet/internal/graphx"
+)
+
+// IncrementalCDG is a channel dependency graph that supports removing
+// route dependencies as well as adding them, and re-verifies acyclicity
+// incrementally: a Check after a batch of changes explores only the
+// dependency classes reachable from the channels whose edges changed,
+// instead of re-walking the whole union CDG.
+//
+// The soundness argument is the standard one for dynamic cycle checking:
+// if the graph was acyclic at the last verified state, any cycle in the
+// new graph must traverse at least one edge added since then, so a DFS
+// from the tail of every added edge visits every candidate cycle.
+// Removing edges can only break cycles, never create them, so removals
+// alone leave a verified graph verified.
+//
+// Edges are reference-counted: two plans inducing the same dependency
+// contribute count 2, and the edge leaves the graph only when the last
+// contributor is removed. This is what lets a delta retract exactly the
+// dependencies of evicted plans while every other plan's dependencies
+// stay live.
+type IncrementalCDG struct {
+	idx   *ChannelIndexer
+	out   []map[int]int // out[u][v] = contributor count of the dependency u -> v
+	dirty map[int]bool  // tails of edges added since the last clean Check
+	edges int           // live (distinct) edge count
+}
+
+// NewIncrementalCDG returns an empty, trivially verified CDG.
+func NewIncrementalCDG() *IncrementalCDG {
+	return &IncrementalCDG{idx: NewChannelIndexer(), dirty: make(map[int]bool)}
+}
+
+// Channels returns the number of channels seen so far.
+func (g *IncrementalCDG) Channels() int { return g.idx.Len() }
+
+// Edges returns the number of distinct live dependency edges.
+func (g *IncrementalCDG) Edges() int { return g.edges }
+
+// DirtyClasses returns the number of channels whose outgoing dependencies
+// changed since the last clean Check — the frontier the next Check will
+// explore from.
+func (g *IncrementalCDG) DirtyClasses() int { return len(g.dirty) }
+
+func (g *IncrementalCDG) id(c Channel) int {
+	id := g.idx.ID(c)
+	for len(g.out) <= id {
+		g.out = append(g.out, nil)
+	}
+	return id
+}
+
+func (g *IncrementalCDG) addEdge(u, v int) {
+	if g.out[u] == nil {
+		g.out[u] = make(map[int]int)
+	}
+	if g.out[u][v] == 0 {
+		g.edges++
+		g.dirty[u] = true
+	}
+	g.out[u][v]++
+}
+
+func (g *IncrementalCDG) removeEdge(u, v int) {
+	if g.out[u] == nil || g.out[u][v] == 0 {
+		return // retracting a dependency that was never recorded is a no-op
+	}
+	g.out[u][v]--
+	if g.out[u][v] == 0 {
+		delete(g.out[u], v)
+		g.edges--
+	}
+}
+
+// AddPath records the wormhole dependencies along one path, as
+// DependencyRecorder.AddPath.
+func (g *IncrementalCDG) AddPath(p PathRoute) { g.pathEdges(p, g.addEdge) }
+
+// RemovePath retracts one previously added path's dependencies.
+func (g *IncrementalCDG) RemovePath(p PathRoute) { g.pathEdges(p, g.removeEdge) }
+
+func (g *IncrementalCDG) pathEdges(p PathRoute, apply func(u, v int)) {
+	chans := p.Channels()
+	for i := 1; i < len(chans); i++ {
+		apply(g.id(chans[i-1]), g.id(chans[i]))
+	}
+}
+
+// AddStar records all paths of a star.
+func (g *IncrementalCDG) AddStar(s Star) {
+	for _, p := range s.Paths {
+		g.AddPath(p)
+	}
+}
+
+// RemoveStar retracts all paths of a previously added star.
+func (g *IncrementalCDG) RemoveStar(s Star) {
+	for _, p := range s.Paths {
+		g.RemovePath(p)
+	}
+}
+
+// AddTree records a lock-step tree's dependencies, as
+// DependencyRecorder.AddTree: every channel at a shallower depth depends
+// on every tree channel strictly deeper.
+func (g *IncrementalCDG) AddTree(t TreeRoute) { g.treeEdges(t, g.addEdge) }
+
+// RemoveTree retracts one previously added tree's dependencies.
+func (g *IncrementalCDG) RemoveTree(t TreeRoute) { g.treeEdges(t, g.removeEdge) }
+
+func (g *IncrementalCDG) treeEdges(t TreeRoute, apply func(u, v int)) {
+	depth := t.Depths()
+	for _, c1 := range t.Edges {
+		for _, c2 := range t.Edges {
+			if depth[c1.To] < depth[c2.To] {
+				apply(g.id(c1), g.id(c2))
+			}
+		}
+	}
+}
+
+// Check verifies acyclicity incrementally: it DFS-walks only from the
+// channels whose outgoing dependencies gained edges since the last clean
+// Check and returns a dependency cycle, or nil when the graph is acyclic.
+// A nil return marks the state verified and resets the dirty frontier; a
+// cycle leaves the frontier intact so the caller can retract routes and
+// re-Check.
+func (g *IncrementalCDG) Check() []Channel {
+	if len(g.dirty) == 0 {
+		return nil
+	}
+	const (
+		white = 0 // unvisited this Check
+		gray  = 1 // on the DFS stack
+		black = 2 // fully explored, cycle-free below
+	)
+	color := make([]byte, len(g.out))
+	// Iterative DFS with an explicit parent trail for cycle extraction.
+	type frame struct {
+		node int
+		next []int
+	}
+	neighbors := func(u int) []int {
+		ns := make([]int, 0, len(g.out[u]))
+		for v := range g.out[u] {
+			ns = append(ns, v)
+		}
+		return ns
+	}
+	for src := range g.dirty {
+		if color[src] != white {
+			continue
+		}
+		stack := []frame{{node: src, next: neighbors(src)}}
+		color[src] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if len(top.next) == 0 {
+				color[top.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			v := top.next[0]
+			top.next = top.next[1:]
+			switch color[v] {
+			case white:
+				color[v] = gray
+				stack = append(stack, frame{node: v, next: neighbors(v)})
+			case gray:
+				// v is on the stack: the frames from v's position down
+				// to the top are the cycle.
+				var cyc []Channel
+				start := 0
+				for i := range stack {
+					if stack[i].node == v {
+						start = i
+						break
+					}
+				}
+				for _, f := range stack[start:] {
+					cyc = append(cyc, g.idx.Channel(f.node))
+				}
+				return cyc
+			}
+		}
+	}
+	g.dirty = make(map[int]bool)
+	return nil
+}
+
+// FullCheck re-verifies the whole graph from scratch — the reference
+// Check is measured and tested against. A nil return also resets the
+// dirty frontier (the state is verified by the stronger pass).
+func (g *IncrementalCDG) FullCheck() []Channel {
+	dg := graphx.NewDigraph(len(g.out))
+	for u := range g.out {
+		for v := range g.out[u] {
+			dg.AddEdge(u, v)
+		}
+	}
+	cyc := dg.FindCycle()
+	if cyc == nil {
+		g.dirty = make(map[int]bool)
+		return nil
+	}
+	out := make([]Channel, len(cyc))
+	for i, id := range cyc {
+		out[i] = g.idx.Channel(id)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package dfr
+
+import (
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// TestIncrementalCDGMatchesFullCheck churns an IncrementalCDG with a
+// seeded interleaving of tree additions and removals and requires Check
+// (dirty-frontier DFS) to agree with FullCheck (whole-graph pass) on
+// acyclic-vs-cyclic at every step. Naive X-first trees develop real
+// cycles under opposing multicasts, so both verdicts get exercised.
+func TestIncrementalCDGMatchesFullCheck(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	rng := stats.NewRand(0x1CD6)
+	g := NewIncrementalCDG()
+	ref := func() bool {
+		// FullCheck resets the dirty frontier on success, which would
+		// erase the very state Check is being tested on — probe a clone.
+		clone := NewIncrementalCDG()
+		for u := range g.out {
+			for v, n := range g.out[u] {
+				for i := 0; i < n; i++ {
+					clone.addEdge(clone.id(g.idx.Channel(u)), clone.id(g.idx.Channel(v)))
+				}
+			}
+		}
+		return clone.FullCheck() == nil
+	}
+
+	var live []TreeRoute
+	for step := 0; step < 200; step++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			src := topology.NodeID(rng.Intn(m.Nodes()))
+			var dests []topology.NodeID
+			for _, d := range rng.Perm(m.Nodes())[:1+rng.Intn(5)] {
+				if topology.NodeID(d) != src {
+					dests = append(dests, topology.NodeID(d))
+				}
+			}
+			if len(dests) == 0 {
+				continue
+			}
+			k := core.MustMulticastSet(m, src, dests)
+			for _, tr := range XFirstTrees(m, k) {
+				g.AddTree(tr)
+				live = append(live, tr)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			g.RemoveTree(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		gotAcyclic := g.Check() == nil
+		wantAcyclic := ref()
+		if gotAcyclic != wantAcyclic {
+			t.Fatalf("step %d: incremental Check acyclic=%v, full recheck acyclic=%v (%d channels, %d edges)",
+				step, gotAcyclic, wantAcyclic, g.Channels(), g.Edges())
+		}
+	}
+}
+
+// TestIncrementalCDGRemovalNeedsNoRecheck: removals alone leave a
+// verified graph verified — the dirty frontier stays empty and Check is
+// O(1).
+func TestIncrementalCDGRemovalNeedsNoRecheck(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	g := NewIncrementalCDG()
+	k := core.MustMulticastSet(m, 0, []topology.NodeID{5, 10, 15})
+	trees := XFirstTrees(m, k)
+	for _, tr := range trees {
+		g.AddTree(tr)
+	}
+	if g.Check() != nil {
+		t.Fatal("single multicast tree should be acyclic")
+	}
+	if g.DirtyClasses() != 0 {
+		t.Fatalf("clean Check left %d dirty classes", g.DirtyClasses())
+	}
+	for _, tr := range trees {
+		g.RemoveTree(tr)
+	}
+	if g.DirtyClasses() != 0 {
+		t.Fatalf("removals dirtied %d classes", g.DirtyClasses())
+	}
+	if g.Edges() != 0 {
+		t.Fatalf("%d edges survived removing every contributor", g.Edges())
+	}
+	if g.Check() != nil {
+		t.Fatal("empty graph reported a cycle")
+	}
+}
+
+// TestIncrementalCDGRefCount: duplicate contributions keep an edge alive
+// until the last one retracts.
+func TestIncrementalCDGRefCount(t *testing.T) {
+	g := NewIncrementalCDG()
+	p := PathRoute{Nodes: []topology.NodeID{0, 1, 2}}
+	g.AddPath(p)
+	g.AddPath(p)
+	if g.Edges() != 1 {
+		t.Fatalf("duplicate path produced %d distinct edges, want 1", g.Edges())
+	}
+	g.RemovePath(p)
+	if g.Edges() != 1 {
+		t.Fatal("edge died while a contributor remained")
+	}
+	g.RemovePath(p)
+	if g.Edges() != 0 {
+		t.Fatal("edge survived its last contributor")
+	}
+	// Retracting beyond zero is a no-op, not an underflow.
+	g.RemovePath(p)
+	if g.Edges() != 0 {
+		t.Fatal("over-retraction corrupted the edge count")
+	}
+}
+
+// TestIncrementalCDGCycleLeavesFrontier: a detected cycle must keep the
+// dirty frontier so retract-and-recheck works.
+func TestIncrementalCDGCycleLeavesFrontier(t *testing.T) {
+	g := NewIncrementalCDG()
+	a := PathRoute{Nodes: []topology.NodeID{0, 1, 0}} // dep (0→1) -> (1→0)
+	b := PathRoute{Nodes: []topology.NodeID{1, 0, 1}} // dep (1→0) -> (0→1): closes the 2-cycle
+	g.AddPath(a)
+	if g.Check() != nil {
+		t.Fatal("a single U-turn path is acyclic")
+	}
+	g.AddPath(b)
+	if g.Check() == nil {
+		t.Fatal("missed the 2-cycle")
+	}
+	if g.DirtyClasses() == 0 {
+		t.Fatal("cycle verdict cleared the dirty frontier")
+	}
+	g.RemovePath(b)
+	if g.Check() != nil {
+		t.Fatal("cycle survived retracting its closing path")
+	}
+}

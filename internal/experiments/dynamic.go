@@ -141,6 +141,23 @@ func mustRouter(name string, st *routing.State, opts routing.Options) routing.Ro
 	return r
 }
 
+// FigureCacheStats, when non-nil, receives each cached figure sweep's
+// final plan-cache accounting (figure ID plus counters) after the sweep
+// completes. `mcdynamic` installs it to surface hit/miss/eviction
+// counts. The counts depend on sweep scheduling — workers racing to plan
+// the same multicast both miss — so they are reported to the operator,
+// never committed into figure bytes.
+var FigureCacheStats func(figure string, s routing.CacheStats)
+
+// reportFigureCache forwards the sweep's final cache counters to the
+// FigureCacheStats hook, if installed.
+func reportFigureCache(fig *stats.Figure, cache *routing.PlanCache) *stats.Figure {
+	if FigureCacheStats != nil {
+		FigureCacheStats(fig.ID, cache.Stats())
+	}
+	return fig
+}
+
 // cachedScheme builds the named registry scheme over st, memoizes its
 // plans in the figure's shared cache, and adapts it to the simulator.
 // The cache is concurrency-safe, so the sweep workers of RunSweep hit it
@@ -201,7 +218,7 @@ func Fig78LatencyVsLoadDouble(o DynamicOptions) *stats.Figure {
 		{"multi-path", cachedScheme("multi-path-double", st, cache, routing.Options{})},
 	}
 	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
-	return fig
+	return reportFigureCache(fig, cache)
 }
 
 // Fig79LatencyVsDestsDouble reproduces Fig. 7.9: latency vs destination
@@ -217,7 +234,7 @@ func Fig79LatencyVsDestsDouble(o DynamicOptions) *stats.Figure {
 		{"multi-path", cachedScheme("multi-path-double", st, cache, routing.Options{})},
 	}
 	RunSweep(destSweep(fig, m, schemes, 300, o), o.Parallel)
-	return fig
+	return reportFigureCache(fig, cache)
 }
 
 // Fig710LatencyVsLoadSingle reproduces Fig. 7.10: dual- vs multi-path on
@@ -232,7 +249,7 @@ func Fig710LatencyVsLoadSingle(o DynamicOptions) *stats.Figure {
 		{"multi-path", cachedScheme("multi-path", st, cache, routing.Options{})},
 	}
 	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
-	return fig
+	return reportFigureCache(fig, cache)
 }
 
 // Fig711LatencyVsDestsSingle reproduces Fig. 7.11: dual-, multi-, and
@@ -250,7 +267,7 @@ func Fig711LatencyVsDestsSingle(o DynamicOptions) *stats.Figure {
 		{"fixed-path", cachedScheme("fixed-path", st, cache, routing.Options{})},
 	}
 	RunSweep(destSweep(fig, m, schemes, 300, o), o.Parallel)
-	return fig
+	return reportFigureCache(fig, cache)
 }
 
 // FigSchemeLoad builds a latency-vs-load figure for one registry scheme
@@ -271,7 +288,7 @@ func FigSchemeLoad(name string, o DynamicOptions) (*stats.Figure, error) {
 	}
 	schemes := []namedScheme{{name, wormsim.RouteFuncOf(routing.Cached(r, cache))}}
 	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
-	return fig, nil
+	return reportFigureCache(fig, cache), nil
 }
 
 // Fig23Switching reproduces the Fig. 2.3 comparison: contention-free

@@ -86,7 +86,7 @@ func TestSweepSharesPlanCache(t *testing.T) {
 	fig := &stats.Figure{ID: "cache-test", XLabel: "load", YLabel: "latency"}
 	schemes := []namedScheme{{"dual-path", route}}
 	RunSweep(loadSweep(fig, m, schemes, 10, o), o.Parallel)
-	_, missesBefore := cache.Stats()
+	missesBefore := cache.Stats().Misses
 	if missesBefore == 0 {
 		t.Fatal("sweep never consulted the plan cache")
 	}
@@ -95,7 +95,8 @@ func TestSweepSharesPlanCache(t *testing.T) {
 	if _, ok := dynamicPoint(m, route, o.loads()[0], 10, seed, o); !ok {
 		t.Fatal("replay point failed")
 	}
-	hits, misses := cache.Stats()
+	cs := cache.Stats()
+	hits, misses := cs.Hits, cs.Misses
 	if hits == 0 {
 		t.Fatalf("no cache hits after replay (misses = %d)", misses)
 	}

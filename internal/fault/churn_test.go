@@ -1,0 +1,306 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/routing"
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// churnStep is one draw of the seeded churn stream: fail fresh hardware
+// or repair an active fault, spanning all three event kinds.
+func drawDelta(rng *stats.Rand, topo topology.Topology, links []topology.Link, active []Event) (Delta, []Event) {
+	var d Delta
+	if len(active) > 0 && rng.Intn(3) == 0 {
+		i := rng.Intn(len(active))
+		d.Repair = append(d.Repair, active[i])
+		active = append(active[:i], active[i+1:]...)
+		return d, active
+	}
+	var e Event
+	switch rng.Intn(4) {
+	case 0:
+		v := topology.NodeID(rng.Intn(topo.Nodes()))
+		e = Event{Kind: NodeFault, A: v}
+	case 1:
+		l := links[rng.Intn(len(links))]
+		e = Event{Kind: VCFault, A: l.U, B: l.V, Class: rng.Intn(2)}
+	default:
+		l := links[rng.Intn(len(links))]
+		e = Event{Kind: LinkFault, A: l.U, B: l.V}
+	}
+	d.Fail = append(d.Fail, e)
+	// Re-failing active hardware is a valid no-op delta but must not be
+	// double-counted in the reference active set.
+	for _, a := range active {
+		if a == e {
+			return d, active
+		}
+	}
+	active = append(active, e)
+	return d, active
+}
+
+// maskOf rebuilds a fresh cumulative mask from the active event set.
+func maskOf(topo topology.Topology, active []Event) *Mask {
+	m := NewMask(topo)
+	for _, e := range active {
+		m.Apply(e)
+	}
+	return m
+}
+
+// TestChurnEquivalence is the tentpole invariant: a LiveRouter driven by
+// an arbitrary interleaving of fault and repair deltas plans
+// byte-identically, at every intermediate step, to a static degraded
+// Router rebuilt from scratch with the same active mask — for every
+// registry scheme on both the mesh and the hypercube. A second LiveRouter
+// with an attached plan cache must agree too, whether a plan comes fresh
+// or from cache (targeted invalidation must never serve a stale plan).
+func TestChurnEquivalence(t *testing.T) {
+	cases := []struct {
+		topo topology.Topology
+		seed uint64
+	}{
+		{topology.NewMesh2D(5, 4), 0xC0DE01},
+		{topology.NewHypercube(4), 0xC0DE02},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.topo.Name(), func(t *testing.T) {
+			t.Parallel()
+			st, err := routing.NewState(tc.topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, scheme := range routing.Names() {
+				scheme := scheme
+				t.Run(scheme, func(t *testing.T) {
+					t.Parallel()
+					churnScheme(t, tc.topo, st, scheme, stats.DeriveSeed(tc.seed, scheme))
+				})
+			}
+		})
+	}
+}
+
+func churnScheme(t *testing.T, topo topology.Topology, st *routing.State, scheme string, seed uint64) {
+	if _, err := routing.New(scheme, st); err != nil {
+		t.Skipf("%s does not build on %s: %v", scheme, topo.Name(), err)
+	}
+	lr, err := NewLiveRouter(scheme, st, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewLiveRouter(scheme, st, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.AttachCache(routing.NewPlanCache(512))
+	// The union-CDG audit only holds for deadlock-free schemes:
+	// naive-tree is the paper's deliberate counterexample, cyclic across
+	// concurrent multicasts by design.
+	if info, err := routing.Lookup(scheme); err == nil && info.DeadlockFree {
+		cached.EnableCDGAudit(8)
+	}
+
+	links := EnumerateLinks(topo)
+	rng := stats.NewRand(seed)
+	// A fixed working set of multicasts, re-planned every epoch — the
+	// realistic churn shape (steady traffic, moving faults) and the one
+	// that exercises cache survival across deltas.
+	working := randomSets(topo, NewMask(topo), rng, 6)
+	var active []Event
+	for step := 0; step < 18; step++ {
+		var d Delta
+		d, active = drawDelta(rng, topo, links, active)
+		rep := lr.ApplyDelta(d)
+		cached.ApplyDelta(d)
+		if rep.ActiveFaults != len(active) {
+			t.Fatalf("step %d: live mask counts %d active faults, stream has %d",
+				step, rep.ActiveFaults, len(active))
+		}
+
+		mask := maskOf(topo, active)
+		static, err := NewRouter(scheme, st, mask)
+		if err != nil {
+			t.Fatalf("step %d: static rebuild: %v", step, err)
+		}
+		for _, k := range working {
+			if mask.NodeDead(k.Source) {
+				continue // dead sources are covered by TestSourceDead
+			}
+			lp, lst, lerr := planNoPanic(t, &lr.Router, k)
+			sp, sst, serr := planNoPanic(t, static, k)
+			if !reflect.DeepEqual(lp, sp) {
+				t.Fatalf("step %d (epoch %d): live plan diverged from full rebuild for %v\nlive:   %+v\nstatic: %+v",
+					step, lr.Epoch(), k, lp, sp)
+			}
+			if lst != sst {
+				t.Fatalf("step %d: stats diverged: live %+v static %+v", step, lst, sst)
+			}
+			if (lerr == nil) != (serr == nil) || (lerr != nil && !errors.Is(lerr, ErrPartitioned)) {
+				t.Fatalf("step %d: errors diverged: live %v static %v", step, lerr, serr)
+			}
+			cp, _, served, cerr := cached.PlanDegradedCached(k)
+			if served {
+				// A surviving cache entry may predate this epoch; the
+				// policy contract is that it is still fully valid over
+				// the CURRENT mask (fresh re-optimization is lazy). A
+				// cached entry is only ever a fully-served plan, so every
+				// destination must still be reachable and delivered.
+				if cerr != nil {
+					t.Fatalf("step %d: cache hit returned error %v", step, cerr)
+				}
+				// (On a fully healed mask the static router has no masked
+				// view; every channel is trivially alive.)
+				if !mask.Empty() && !static.planValid(cp, k) {
+					t.Fatalf("step %d: cache served a plan invalid under the current mask for %v", step, k)
+				}
+			} else {
+				if (cerr == nil) != (serr == nil) {
+					t.Fatalf("step %d: cached-path error diverged: %v vs %v", step, cerr, serr)
+				}
+				if !reflect.DeepEqual(cp, sp) {
+					t.Fatalf("step %d: cached live router miss-path plan diverged for %v", step, k)
+				}
+			}
+		}
+	}
+
+	// Drain every remaining fault: the live router must plan exactly like
+	// the plain healthy scheme again (empty-mask bypass).
+	lr.ApplyDelta(Delta{Repair: active})
+	cached.ApplyDelta(Delta{Repair: active})
+	if !lr.Mask().Empty() {
+		t.Fatalf("mask not empty after repairing all %d faults", len(active))
+	}
+	hr, err := routing.New(scheme, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range randomSets(topo, NewMask(topo), rng, 3) {
+		lp, lst, lerr := planNoPanic(t, &lr.Router, k)
+		if lerr != nil || lst.Degraded() {
+			t.Fatalf("healed router still degraded: %+v %v", lst, lerr)
+		}
+		if hp := hr.PlanSet(k); !reflect.DeepEqual(lp, hp) {
+			t.Fatalf("healed live plan differs from the healthy scheme for %v", k)
+		}
+	}
+	if cached.CachedServes() == 0 {
+		t.Error("churn workload never hit the plan cache")
+	}
+}
+
+// TestLiveRouterTargetedInvalidation: a delta must evict cached plans
+// touching the dead hardware and preserve the rest; repairs evict
+// nothing.
+func TestLiveRouterTargetedInvalidation(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	st, err := routing.NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := NewLiveRouter("dual-path", st, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := routing.NewPlanCache(0)
+	lr.AttachCache(cache)
+
+	k1 := core.MustMulticastSet(m, 0, []topology.NodeID{1})
+	k2 := core.MustMulticastSet(m, 30, []topology.NodeID{35})
+	p1, _, _, _ := lr.PlanDegradedCached(k1)
+	lr.PlanDegradedCached(k2)
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d plans, want 2", cache.Len())
+	}
+
+	// Fail a link on k1's route.
+	var link topology.Link
+	found := false
+	for _, pr := range p1.Paths {
+		if len(pr.Nodes) >= 2 {
+			link = topology.NormLink(pr.Nodes[0], pr.Nodes[1])
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("healthy plan has no edges")
+	}
+	rep := lr.ApplyDelta(Delta{Fail: []Event{{Kind: LinkFault, A: link.U, B: link.V}}})
+	if rep.Invalidated != 1 {
+		t.Fatalf("delta evicted %d plans, want exactly k1's", rep.Invalidated)
+	}
+	if _, ok := cache.GetPlan(lr.ID(), k2); !ok {
+		t.Fatal("unaffected plan was evicted")
+	}
+	// The re-plan must detour and is cached again (fully served).
+	p1b, _, served, _ := lr.PlanDegradedCached(k1)
+	if served {
+		t.Fatal("evicted plan reported as cache-served")
+	}
+	if reflect.DeepEqual(p1, p1b) {
+		t.Fatal("re-plan over the dead link did not change")
+	}
+
+	// Repair: nothing is evicted; the detour plan keeps serving (lazily
+	// re-optimized only when it ages out).
+	rep = lr.ApplyDelta(Delta{Repair: []Event{{Kind: LinkFault, A: link.U, B: link.V}}})
+	if rep.Invalidated != 0 {
+		t.Fatalf("repair evicted %d plans, want 0", rep.Invalidated)
+	}
+	if _, _, served, _ := lr.PlanDegradedCached(k1); !served {
+		t.Fatal("repair evicted the detour plan")
+	}
+}
+
+// TestMaskedStateMemo: rebuilding a static router over an identical mask
+// reuses the memoized masked state instead of recomputing it.
+func TestMaskedStateMemo(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	st, err := routing.NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := NewMask(m)
+	mask.Apply(Event{Kind: LinkFault, A: 0, B: 1})
+	mask.Apply(Event{Kind: NodeFault, A: 14})
+
+	r1, err := NewRouter("dual-path", st, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical mask contents in a fresh Mask value — and even a different
+	// scheme — must hit the same memo entry.
+	mask2 := NewMask(m)
+	mask2.Apply(Event{Kind: NodeFault, A: 14})
+	mask2.Apply(Event{Kind: LinkFault, A: 0, B: 1})
+	r2, err := NewRouter("multi-path", st, mask2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.State() != r2.State() {
+		t.Fatal("identical masks rebuilt the masked state instead of memoizing")
+	}
+	if r1.Masked() != r2.Masked() {
+		t.Fatal("identical masks rebuilt the masked topology instead of memoizing")
+	}
+
+	// A different mask must not collide.
+	mask3 := NewMask(m)
+	mask3.Apply(Event{Kind: LinkFault, A: 0, B: 1})
+	r3, err := NewRouter("dual-path", st, mask3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.State() == r1.State() {
+		t.Fatal("different masks shared a memoized state")
+	}
+}

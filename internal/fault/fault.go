@@ -22,6 +22,7 @@
 package fault
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -59,7 +60,9 @@ func (k Kind) String() string {
 }
 
 // Event is one timed hardware failure. The fault activates at the start
-// of simulation cycle Cycle and is permanent (no repair model).
+// of simulation cycle Cycle; within a static Plan it is permanent, while
+// the delta path (Delta, Mask.Unapply) models repair as the exact
+// reversal of an active event.
 type Event struct {
 	Kind  Kind
 	Cycle int64
@@ -268,8 +271,9 @@ func (p *Plan) FullMask() *Mask {
 }
 
 // Mask is the cumulative dead-hardware set of a fault plan at one point
-// in time. A Mask is mutable while events are applied; routing wrappers
-// treat it as immutable afterwards.
+// in time. A Mask is mutable while events are applied or unapplied;
+// routing wrappers treat it as immutable afterwards (the live delta path
+// synchronizes mutation externally via the epoch protocol).
 type Mask struct {
 	topo     topology.Topology
 	nodeDead []bool
@@ -288,25 +292,67 @@ func NewMask(t topology.Topology) *Mask {
 	}
 }
 
-// Apply adds one fault event to the mask.
+// Apply adds one fault event to the mask. Re-failing already-dead
+// hardware is a no-op, so the event count stays the exact number of
+// active faults (Empty is reliable under fault/repair interleavings).
 func (m *Mask) Apply(e Event) {
 	switch e.Kind {
 	case LinkFault:
-		m.linkDead[topology.NormLink(e.A, e.B)] = true
+		l := topology.NormLink(e.A, e.B)
+		if m.linkDead[l] {
+			return
+		}
+		m.linkDead[l] = true
 	case NodeFault:
+		if m.nodeDead[e.A] {
+			return
+		}
 		m.nodeDead[e.A] = true
 	case VCFault:
-		m.vcDead[dfr.Channel{From: e.A, To: e.B, Class: e.Class}] = true
+		c := dfr.Channel{From: e.A, To: e.B, Class: e.Class}
+		if m.vcDead[c] {
+			return
+		}
+		m.vcDead[c] = true
 	default:
 		panic(fmt.Sprintf("fault: unknown event kind %d", e.Kind))
 	}
 	m.events++
 }
 
-// Empty reports a healthy mask (no faults applied).
+// Unapply removes one fault event from the mask — the repair of exactly
+// that hardware. Repairing healthy hardware is a no-op. Note the model is
+// per-fault-site: repairing a node restores the node, not any separately
+// failed incident links.
+func (m *Mask) Unapply(e Event) {
+	switch e.Kind {
+	case LinkFault:
+		l := topology.NormLink(e.A, e.B)
+		if !m.linkDead[l] {
+			return
+		}
+		delete(m.linkDead, l)
+	case NodeFault:
+		if !m.nodeDead[e.A] {
+			return
+		}
+		m.nodeDead[e.A] = false
+	case VCFault:
+		c := dfr.Channel{From: e.A, To: e.B, Class: e.Class}
+		if !m.vcDead[c] {
+			return
+		}
+		delete(m.vcDead, c)
+	default:
+		panic(fmt.Sprintf("fault: unknown event kind %d", e.Kind))
+	}
+	m.events--
+}
+
+// Empty reports a healthy mask (no faults currently active).
 func (m *Mask) Empty() bool { return m.events == 0 }
 
-// Events returns the number of events applied.
+// Events returns the number of currently active faults.
 func (m *Mask) Events() int { return m.events }
 
 // NodeDead reports whether v failed.
@@ -355,6 +401,23 @@ func (m *Mask) DeadLinks() []topology.Link {
 		return out[i].V < out[j].V
 	})
 	return out
+}
+
+// deadSetKey encodes the physical dead sets (nodes + links, not VCs,
+// which don't shape the masked graph) canonically — the memo key for
+// masked-state reuse across identical masks.
+func (m *Mask) deadSetKey() string {
+	var b []byte
+	b = append(b, 'n')
+	for _, v := range m.DeadNodes() {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	b = append(b, 'l')
+	for _, l := range m.DeadLinks() {
+		b = binary.AppendUvarint(b, uint64(l.U))
+		b = binary.AppendUvarint(b, uint64(l.V))
+	}
+	return string(b)
 }
 
 // MaskTopology returns the masked view of the mask's topology: dead

@@ -14,23 +14,30 @@ import (
 // scheme: degraded planning must always yield a plan that validates over
 // the masked topology with an acyclic channel dependency graph, or a
 // typed ErrPartitioned — never a panic and never an untyped error.
+//
+// The fuzz input additionally drives a repair interleaving (repairBits
+// selects which drawn faults get repaired, one delta at a time) through a
+// LiveRouter, asserting at every intermediate epoch that the incremental
+// CDG verdict (dirty-frontier re-check) agrees with a full recheck of the
+// same dependency set.
 func FuzzFaultMaskCDG(f *testing.F) {
-	f.Add(uint64(1), uint8(2), uint8(0), uint8(0), uint8(0), uint16(0x00F0))
-	f.Add(uint64(7), uint8(6), uint8(1), uint8(3), uint8(5), uint16(0x8421))
-	f.Add(uint64(99), uint8(12), uint8(2), uint8(8), uint8(15), uint16(0x7FFF))
+	f.Add(uint64(1), uint8(2), uint8(0), uint8(0), uint8(0), uint16(0x00F0), uint16(0))
+	f.Add(uint64(7), uint8(6), uint8(1), uint8(3), uint8(5), uint16(0x8421), uint16(0x0003))
+	f.Add(uint64(99), uint8(12), uint8(2), uint8(8), uint8(15), uint16(0x7FFF), uint16(0xFFFF))
 	m := topology.NewMesh2D(4, 4)
 	st, err := routing.NewState(m)
 	if err != nil {
 		f.Fatal(err)
 	}
 	schemes := routing.Names()
-	f.Fuzz(func(t *testing.T, seed uint64, links, nodes, vcs, src uint8, destBits uint16) {
-		mask := NewPlan(m, Spec{
+	f.Fuzz(func(t *testing.T, seed uint64, links, nodes, vcs, src uint8, destBits, repairBits uint16) {
+		fp := NewPlan(m, Spec{
 			Links: int(links) % 16,
 			Nodes: int(nodes) % 4,
 			VCs:   int(vcs) % 8,
 			Seed:  seed,
-		}).FullMask()
+		})
+		mask := fp.FullMask()
 		source := topology.NodeID(src) % 16
 		var dests []topology.NodeID
 		for v := 0; v < 16; v++ {
@@ -67,6 +74,52 @@ func FuzzFaultMaskCDG(f *testing.F) {
 			if cyc := rec.FindCycle(); cyc != nil {
 				t.Fatalf("%s: dependency cycle under mask: %v", name, cyc)
 			}
+		}
+
+		// Repair-delta interleaving: drive a dual-path LiveRouter through
+		// fail-then-selective-repair deltas, accumulating every produced
+		// plan's dependencies in an IncrementalCDG; the incremental
+		// verdict must agree with a full recheck at every epoch.
+		lr, err := NewLiveRouter("dual-path", st, routing.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := dfr.NewIncrementalCDG()
+		checkAgreement := func(epoch uint64) {
+			inc := g.Check() == nil
+			full := g.FullCheck() == nil
+			if inc != full {
+				t.Fatalf("epoch %d: incremental CDG verdict %v, full recheck %v", epoch, inc, full)
+			}
+		}
+		planInto := func() {
+			if lr.Mask().NodeDead(k.Source) {
+				return
+			}
+			plan, _, err := lr.PlanDegraded(k)
+			if err != nil && !errors.Is(err, ErrPartitioned) {
+				t.Fatalf("live: untyped degraded error: %v", err)
+			}
+			for _, p := range plan.Paths {
+				g.AddPath(p)
+			}
+			for _, tr := range plan.Trees {
+				g.AddTree(tr)
+			}
+		}
+		events := fp.Events()
+		for _, e := range events {
+			lr.ApplyDelta(Delta{Fail: []Event{e}})
+			planInto()
+			checkAgreement(lr.Epoch())
+		}
+		for i, e := range events {
+			if repairBits>>(uint(i)%16)&1 == 0 {
+				continue
+			}
+			lr.ApplyDelta(Delta{Repair: []Event{e}})
+			planInto()
+			checkAgreement(lr.Epoch())
 		}
 	})
 }

@@ -3,6 +3,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"multicastnet/internal/core"
 	"multicastnet/internal/dfr"
@@ -83,12 +84,20 @@ type Router struct {
 	id         string
 	healthy    *routing.State
 	mask       *Mask
-	masked     *topology.Masked
+	masked     maskedView
 	mstate     *routing.State
 	inner      routing.Router
 	fallbacks  []routing.Router
 	repairBase int
 	treeFamily bool
+}
+
+// maskedView is the masked-graph surface degraded routing needs: both
+// the immutable topology.Masked snapshot of the static path and the
+// delta-patched topology.LiveMasked of the live path satisfy it.
+type maskedView interface {
+	topology.Topology
+	Reachable(u, v topology.NodeID) bool
 }
 
 // NewRouter builds degraded-mode routing for the named registry scheme
@@ -102,6 +111,26 @@ func NewRouter(scheme string, healthy *routing.State, mask *Mask) (*Router, erro
 // virtual-channel copy count).
 func NewRouterWithOptions(scheme string, healthy *routing.State, mask *Mask,
 	opts routing.Options) (*Router, error) {
+	return newRouterWithState(scheme, healthy, mask, opts, maskedStateFor)
+}
+
+// NewRouterRebuild is NewRouterWithOptions with the masked-state memo
+// bypassed: the masked topology and routing state are always recomputed
+// from scratch. It exists as the full-rebuild baseline for the churn
+// study and benchmarks — production callers want the memoized
+// constructor (or a LiveRouter).
+func NewRouterRebuild(scheme string, healthy *routing.State, mask *Mask,
+	opts routing.Options) (*Router, error) {
+	return newRouterWithState(scheme, healthy, mask, opts,
+		func(h *routing.State, m *Mask) (*topology.Masked, *routing.State) {
+			masked := m.MaskTopology()
+			return masked, routing.NewStateWithLabeling(masked, h.Labeling())
+		})
+}
+
+func newRouterWithState(scheme string, healthy *routing.State, mask *Mask,
+	opts routing.Options,
+	stateFor func(*routing.State, *Mask) (*topology.Masked, *routing.State)) (*Router, error) {
 	hr, err := routing.NewWithOptions(scheme, healthy, opts)
 	if err != nil {
 		return nil, err
@@ -121,9 +150,10 @@ func NewRouterWithOptions(scheme string, healthy *routing.State, mask *Mask,
 		r.inner = hr
 		return r, nil
 	}
-	r.masked = mask.MaskTopology()
-	r.mstate = routing.NewStateWithLabeling(r.masked, healthy.Labeling())
-	r.id = hr.ID() + "@" + r.masked.Name()
+	masked, mstate := stateFor(healthy, mask)
+	r.masked = masked
+	r.mstate = mstate
+	r.id = hr.ID() + "@" + masked.Name()
 	if inner, err := routing.NewWithOptions(scheme, r.mstate, opts); err == nil {
 		r.inner = inner
 	}
@@ -136,6 +166,56 @@ func NewRouterWithOptions(scheme string, healthy *routing.State, mask *Mask,
 		}
 	}
 	return r, nil
+}
+
+// maskedStateMemo caches (Masked, masked State) pairs across routers so
+// building several scheme routers — or rebuilding one — over the same
+// mask reuses the all-pairs distance table and labeling tables instead of
+// recomputing them per call. Keyed by the healthy state identity plus the
+// masked topology's fingerprinted name; bounded by wholesale reset.
+var maskedStateMemo struct {
+	sync.Mutex
+	entries map[maskedStateKey]maskedStateVal
+}
+
+type maskedStateKey struct {
+	healthy *routing.State
+	deadSet string
+}
+
+type maskedStateVal struct {
+	masked *topology.Masked
+	mstate *routing.State
+}
+
+// maskedStateMemoCap bounds the memo; on overflow the map resets rather
+// than tracking recency (mask churn workloads revisit few distinct masks,
+// and a reset only costs rebuilds, never correctness).
+const maskedStateMemoCap = 128
+
+// maskedStateFor returns the masked topology and masked routing state
+// for (healthy, mask), memoized across identical masks. The key is the
+// mask's canonical dead-set encoding, computed without building the
+// Masked view — the all-pairs distance table (the expensive part of
+// MaskTopology) is only ever computed once per distinct mask.
+func maskedStateFor(healthy *routing.State, mask *Mask) (*topology.Masked, *routing.State) {
+	key := maskedStateKey{healthy: healthy, deadSet: mask.deadSetKey()}
+	m := &maskedStateMemo
+	m.Lock()
+	if v, ok := m.entries[key]; ok {
+		m.Unlock()
+		return v.masked, v.mstate
+	}
+	m.Unlock()
+	masked := mask.MaskTopology()
+	mstate := routing.NewStateWithLabeling(masked, healthy.Labeling())
+	m.Lock()
+	if m.entries == nil || len(m.entries) >= maskedStateMemoCap {
+		m.entries = make(map[maskedStateKey]maskedStateVal)
+	}
+	m.entries[key] = maskedStateVal{masked: masked, mstate: mstate}
+	m.Unlock()
+	return masked, mstate
 }
 
 // repairBaseFor returns the first channel class free for escape-segment
@@ -175,8 +255,14 @@ func (r *Router) ID() string { return r.id }
 // over (the healthy state when the mask is empty).
 func (r *Router) State() *routing.State { return r.mstate }
 
-// Masked returns the masked topology view, or nil for an empty mask.
-func (r *Router) Masked() *topology.Masked { return r.masked }
+// Masked returns the immutable masked topology snapshot, or nil for an
+// empty mask or a live (delta-driven) view.
+func (r *Router) Masked() *topology.Masked {
+	if mk, ok := r.masked.(*topology.Masked); ok {
+		return mk
+	}
+	return nil
+}
 
 // Plan implements routing.Router. Unreachable destinations yield a
 // PartitionError (errors.Is ErrPartitioned) alongside a plan covering
@@ -203,7 +289,11 @@ func (r *Router) PlanSet(k core.MulticastSet) routing.Plan {
 // reported via a *PartitionError (matching errors.Is(err,
 // ErrPartitioned)). The plan and stats are valid even when err != nil.
 func (r *Router) PlanDegraded(k core.MulticastSet) (routing.Plan, PlanStats, error) {
-	if r.mask == nil {
+	// Empty() re-checks dynamically for the live path: when repairs have
+	// drained the mask, planning bypasses the degraded machinery entirely
+	// and is byte-identical to the healthy scheme, exactly like a router
+	// built with no mask.
+	if r.mask == nil || (r.mask.Empty() && r.inner != nil) {
 		return r.inner.PlanSet(k), PlanStats{}, nil
 	}
 	if r.mask.NodeDead(k.Source) {

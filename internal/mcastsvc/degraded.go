@@ -85,15 +85,17 @@ func (o DegradedOutcome) DeliveryRatio() float64 {
 }
 
 // MulticastUnderFaults executes one source-to-group multicast against a
-// timed fault plan: each attempt routes the still-undelivered members
-// with degraded-mode routing (fault.Router) over the fault mask at the
-// current operation time, replays the plan on a wormhole network whose
-// failed channels kill in-flight worms, and activates further fault
-// events mid-flight as the operation clock crosses them. Destinations
-// lost to mid-run kills or attempt timeouts are retried after a backoff
-// until the policy's attempt budget runs out; destinations the mask has
-// severed from the source are dropped immediately as unreachable. The
-// fault plan's cycle 0 is the operation's start.
+// timed fault plan: one delta-driven live router (fault.LiveRouter) is
+// built for the whole operation and advanced — in O(|new events|) per
+// attempt, never a full rebuild — to the fault mask at the current
+// operation time; each attempt routes the still-undelivered members over
+// it, replays the plan on a wormhole network whose failed channels kill
+// in-flight worms, and activates further fault events mid-flight as the
+// operation clock crosses them. Destinations lost to mid-run kills or
+// attempt timeouts are retried after a backoff until the policy's
+// attempt budget runs out; destinations the mask has severed from the
+// source are dropped immediately as unreachable. The fault plan's cycle
+// 0 is the operation's start.
 func (s *Service) MulticastUnderFaults(source topology.NodeID, g Group, bytes int,
 	fp *fault.Plan, pol RetryPolicy) (DegradedOutcome, error) {
 	if bytes <= 0 {
@@ -125,20 +127,36 @@ func (s *Service) MulticastUnderFaults(source topology.NodeID, g Group, bytes in
 	backoffCycles := int64(pol.BackoffMicros / flitUs)
 	events := fp.Events()
 
+	// One live router serves every attempt: each retry advances it by the
+	// delta of newly activated events instead of rebuilding masked state
+	// from scratch. The service plan cache is attached, so an attempt
+	// whose pending set was already planned — and whose plan survived
+	// targeted invalidation — is served without re-planning; only requests
+	// the deltas actually touched re-plan.
+	lr, err := fault.NewLiveRouter(s.router.Scheme(), st, routing.Options{})
+	if err != nil {
+		return DegradedOutcome{}, err
+	}
+	lr.AttachCache(s.cache)
+	applied := 0 // events folded into the live mask so far
+
 	var out DegradedOutcome
 	clock := int64(0) // operation clock in flit cycles
 	for attempt := 1; attempt <= pol.MaxAttempts && len(pending) > 0; attempt++ {
 		out.Attempts = attempt
-		mask := fp.MaskAt(clock)
-		dr, err := fault.NewRouter(s.router.Scheme(), st, mask)
-		if err != nil {
-			return out, err
+		var d fault.Delta
+		for applied < len(events) && events[applied].Cycle <= clock {
+			d.Fail = append(d.Fail, events[applied])
+			applied++
+		}
+		if !d.Empty() {
+			lr.ApplyDelta(d)
 		}
 		k, err := core.NewMulticastSet(s.cfg.Topology, source, pending)
 		if err != nil {
 			return out, err
 		}
-		plan, stats, perr := dr.PlanDegraded(k)
+		plan, stats, _, perr := lr.PlanDegradedCached(k)
 		out.FellBack = out.FellBack || stats.FellBack
 		out.Repaired = out.Repaired || stats.Repaired
 		severed := make(map[topology.NodeID]bool)
@@ -160,14 +178,11 @@ func (s *Service) MulticastUnderFaults(source topology.NodeID, g Group, bytes in
 			net.SetShards(pol.Shards)
 			defer net.Close()
 		}
-		net.FailWhere(mask.ChannelDead)
+		net.FailWhere(lr.Mask().ChannelDead)
 		delivered := make(map[topology.NodeID]bool)
 		net.OnDelivery(func(d topology.NodeID, _ int64) { delivered[d] = true })
 		net.InjectMulticast(plan.Paths, plan.Trees, flits)
-		next := 0
-		for next < len(events) && events[next].Cycle <= clock {
-			next++ // already inside the mask
-		}
+		next := applied // events beyond the live mask activate mid-flight
 		base := clock
 		steps := 0
 		for net.ActiveWorms() > 0 && net.Cycle() < timeoutCycles {

@@ -119,6 +119,7 @@ func (c Config) schemeName() (string, error) {
 type Service struct {
 	cfg    Config
 	router routing.Router
+	cache  *routing.PlanCache
 }
 
 // New validates the configuration and returns a Service. The routing
@@ -157,11 +158,16 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mcastsvc: %w", err)
 	}
-	return &Service{cfg: cfg, router: routing.Cached(r, routing.NewPlanCache(planCacheSize))}, nil
+	cache := routing.NewPlanCache(planCacheSize)
+	return &Service{cfg: cfg, router: routing.Cached(r, cache), cache: cache}, nil
 }
 
 // SchemeName returns the registry name of the service's routing scheme.
 func (s *Service) SchemeName() string { return s.router.Scheme() }
+
+// CacheStats returns the cumulative plan-cache counters of the service's
+// router (hits, misses, evictions, invalidations).
+func (s *Service) CacheStats() routing.CacheStats { return s.cache.Stats() }
 
 // Group is a process group; one process per node (Section 1.1's
 // assumption that each process resides in a separate node).

@@ -23,19 +23,74 @@ const cacheShards = 16
 // share one cache without collisions. Each shard evicts in FIFO order
 // once full, bounding memory under adversarial key streams.
 //
+// Every entry is tagged with the set of directed links its plan
+// traverses, so a fault delta can evict exactly the plans that touch
+// dead hardware (Invalidate) instead of nuking the whole cache; entries
+// for unaffected traffic — and their ~25x cached speedup — survive the
+// epoch change.
+//
 // Cached plans are shared: callers must treat them as immutable.
 type PlanCache struct {
-	shards   [cacheShards]cacheShard
-	perShard int
-	hits     atomic.Uint64
-	misses   atomic.Uint64
+	shards        [cacheShards]cacheShard
+	perShard      int
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// CacheStats is the cumulative counter snapshot of a PlanCache.
+type CacheStats struct {
+	// Hits and Misses count lookups.
+	Hits, Misses uint64
+	// Evictions counts entries dropped by the FIFO capacity bound.
+	Evictions uint64
+	// Invalidations counts entries evicted by Invalidate/InvalidateAll —
+	// plans whose channels a fault delta killed (or, for InvalidateAll,
+	// the nuke-everything baseline).
+	Invalidations uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 1 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 // cacheEntry is one cached plan in the representation its key encodes:
-// route form (plan) or dense CSR form (flat). Exactly one field is set.
+// route form (plan) or dense CSR form (flat). Exactly one of plan/flat is
+// set. pairs is the sorted, deduplicated set of directed links the plan
+// traverses (see ChannelPair), the index targeted invalidation matches
+// fault deltas against.
 type cacheEntry struct {
 	plan Plan
 	flat *FlatPlan
+	// aux is an opaque caller word stored with the entry (see PutPlanAux)
+	// — e.g. the fault router's per-plan degraded accounting, so a cache
+	// hit reproduces the accounting of the original planning byte for
+	// byte.
+	aux   uint64
+	pairs []uint64
+}
+
+// touchesAny reports whether the entry's plan traverses any of the given
+// directed links (both inputs sorted ascending).
+func (e *cacheEntry) touchesAny(pairs []uint64) bool {
+	a, b := e.pairs, pairs
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
 }
 
 type cacheShard struct {
@@ -80,9 +135,114 @@ func (c *PlanCache) Len() int {
 	return total
 }
 
-// Stats returns the cumulative hit and miss counts.
-func (c *PlanCache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+// Stats returns the cumulative counter snapshot.
+func (c *PlanCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// ChannelPair encodes the directed link from -> to as the uint64 entries
+// of an entry's channel tag. Channel classes are deliberately folded
+// away: a link fault kills every class of both directions and a node
+// fault every incident link, so matching on the directed link is exact
+// for them; for a single virtual-channel fault it over-invalidates the
+// other classes of that direction — conservative, never unsafe.
+func ChannelPair(from, to topology.NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// planPairs collects the sorted, deduplicated directed links of a plan.
+func planPairs(p Plan) []uint64 {
+	var pairs []uint64
+	for _, pr := range p.Paths {
+		for i := 1; i < len(pr.Nodes); i++ {
+			pairs = append(pairs, ChannelPair(pr.Nodes[i-1], pr.Nodes[i]))
+		}
+	}
+	for _, tr := range p.Trees {
+		for _, e := range tr.Edges {
+			pairs = append(pairs, ChannelPair(e.From, e.To))
+		}
+	}
+	return sortedUniq(pairs)
+}
+
+// flatPairs collects the sorted, deduplicated directed links of a dense
+// CSR plan.
+func flatPairs(f *FlatPlan) []uint64 {
+	var pairs []uint64
+	for p := 0; p < f.Paths(); p++ {
+		row := f.PathNodes[f.PathOff[p]:f.PathOff[p+1]]
+		for i := 1; i < len(row); i++ {
+			pairs = append(pairs, ChannelPair(topology.NodeID(row[i-1]), topology.NodeID(row[i])))
+		}
+	}
+	for i := range f.TreeFrom {
+		pairs = append(pairs, ChannelPair(topology.NodeID(f.TreeFrom[i]), topology.NodeID(f.TreeTo[i])))
+	}
+	return sortedUniq(pairs)
+}
+
+// sortedUniq sorts pairs ascending and removes duplicates in place.
+func sortedUniq(pairs []uint64) []uint64 {
+	if len(pairs) == 0 {
+		return nil
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	out := pairs[:1]
+	for _, p := range pairs[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Invalidate evicts every cached plan that traverses any of the given
+// directed links (as ChannelPair values, any order) and returns the
+// number evicted. This is the targeted eviction a fault delta triggers:
+// plans over surviving hardware keep their entries. Repairs need no
+// invalidation at all — a plan that avoided a link stays valid when the
+// link returns — so delta consumers call this only with killed channels.
+func (c *PlanCache) Invalidate(pairs []uint64) int {
+	if len(pairs) == 0 {
+		return 0
+	}
+	sorted := sortedUniq(append([]uint64(nil), pairs...))
+	evicted := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, e := range s.plans {
+			if e.touchesAny(sorted) {
+				delete(s.plans, key)
+				evicted++
+			}
+		}
+		s.mu.Unlock()
+	}
+	c.invalidations.Add(uint64(evicted))
+	return evicted
+}
+
+// InvalidateAll evicts every cached plan and returns the number evicted —
+// the nuke-everything baseline targeted invalidation is measured against.
+func (c *PlanCache) InvalidateAll() int {
+	evicted := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		evicted += len(s.plans)
+		s.plans = make(map[string]cacheEntry)
+		s.fifo = s.fifo[:0]
+		s.mu.Unlock()
+	}
+	c.invalidations.Add(uint64(evicted))
+	return evicted
 }
 
 // shardFor selects a shard by FNV-1a over the key.
@@ -121,10 +281,15 @@ func (c *PlanCache) put(key string, e cacheEntry) {
 		// (deterministic routing), keep the incumbent.
 		return
 	}
-	if len(s.plans) >= c.perShard {
+	for len(s.plans) >= c.perShard {
 		oldest := s.fifo[0]
 		s.fifo = s.fifo[1:]
-		delete(s.plans, oldest)
+		// Invalidation removes entries without rewriting the FIFO; skip
+		// keys it already evicted.
+		if _, live := s.plans[oldest]; live {
+			delete(s.plans, oldest)
+			c.evictions.Add(1)
+		}
 	}
 	s.plans[key] = e
 	s.fifo = append(s.fifo, key)
@@ -152,6 +317,39 @@ func planKey(id string, k core.MulticastSet, repr byte) string {
 	return string(buf)
 }
 
+// GetPlan looks up the route-form plan cached under (id, k). It is the
+// exported lookup for callers that manage caching themselves — the
+// degraded-mode fault router caches only fully-served plans, a policy the
+// generic Cached wrapper cannot express.
+func (c *PlanCache) GetPlan(id string, k core.MulticastSet) (Plan, bool) {
+	p, _, ok := c.GetPlanAux(id, k)
+	return p, ok
+}
+
+// PutPlan caches a route-form plan under (id, k), tagging it with the
+// directed links it traverses for targeted invalidation.
+func (c *PlanCache) PutPlan(id string, k core.MulticastSet, p Plan) {
+	c.PutPlanAux(id, k, p, 0)
+}
+
+// GetPlanAux is GetPlan returning the opaque aux word stored with the
+// entry (0 when none was recorded).
+func (c *PlanCache) GetPlanAux(id string, k core.MulticastSet) (Plan, uint64, bool) {
+	e, ok := c.get(planKey(id, k, reprPlan))
+	if !ok {
+		return Plan{}, 0, false
+	}
+	return e.plan, e.aux, true
+}
+
+// PutPlanAux is PutPlan with an opaque aux word stored alongside the
+// plan — the degraded fault router records each plan's accounting flags
+// here, so a later cache hit reports the same stats the original
+// planning did.
+func (c *PlanCache) PutPlanAux(id string, k core.MulticastSet, p Plan, aux uint64) {
+	c.put(planKey(id, k, reprPlan), cacheEntry{plan: p, aux: aux, pairs: planPairs(p)})
+}
+
 // cachedRouter memoizes PlanSet through a PlanCache.
 type cachedRouter struct {
 	Router
@@ -165,7 +363,7 @@ func (r *cachedRouter) PlanSet(k core.MulticastSet) Plan {
 		return e.plan
 	}
 	p := r.Router.PlanSet(k)
-	r.cache.put(key, cacheEntry{plan: p})
+	r.cache.put(key, cacheEntry{plan: p, pairs: planPairs(p)})
 	return p
 }
 

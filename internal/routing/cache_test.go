@@ -32,8 +32,8 @@ func TestCacheHitsAndEquality(t *testing.T) {
 	k := core.MustMulticastSet(m, 3, []topology.NodeID{10, 20, 30})
 	first := cr.PlanSet(k)
 	second := cr.PlanSet(k)
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Fatalf("Stats() = (%d hits, %d misses), want (1, 1)", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("Stats() = (%d hits, %d misses), want (1, 1)", st.Hits, st.Misses)
 	}
 	if !reflect.DeepEqual(first, second) {
 		t.Fatal("cached plan differs from computed plan")
@@ -54,8 +54,8 @@ func TestCacheCanonicalizesDestOrder(t *testing.T) {
 	b := core.MustMulticastSet(m, 3, []topology.NodeID{30, 10, 20})
 	cr.PlanSet(a)
 	cr.PlanSet(b)
-	if hits, _ := c.Stats(); hits != 1 {
-		t.Fatalf("reordered destinations missed the cache (hits = %d)", hits)
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("reordered destinations missed the cache (hits = %d)", st.Hits)
 	}
 }
 
@@ -74,8 +74,8 @@ func TestCacheNamespacesByRouterID(t *testing.T) {
 	if reflect.DeepEqual(p1, p2) {
 		t.Fatal("dual-path and fixed-path returned identical plans — ID namespacing untestable")
 	}
-	if _, misses := c.Stats(); misses != 2 {
-		t.Fatalf("expected 2 misses for 2 schemes, got %d", misses)
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("expected 2 misses for 2 schemes, got %d", st.Misses)
 	}
 	if !reflect.DeepEqual(Cached(fixed, c).PlanSet(k), p2) {
 		t.Fatal("fixed-path plan corrupted by dual-path entry")
@@ -125,13 +125,13 @@ func TestCachedLiveRouterBypassesCache(t *testing.T) {
 	k := core.MustMulticastSet(m, 3, []topology.NodeID{10, 20, 30})
 	lr.PlanLive(k, dfr.IdleOracle())
 	lr.PlanLive(k, dfr.IdleOracle())
-	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
-		t.Fatalf("PlanLive touched the cache: (%d hits, %d misses)", hits, misses)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("PlanLive touched the cache: (%d hits, %d misses)", st.Hits, st.Misses)
 	}
 	cr.PlanSet(k)
 	cr.PlanSet(k)
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Fatalf("deterministic PlanSet not cached: (%d hits, %d misses)", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("deterministic PlanSet not cached: (%d hits, %d misses)", st.Hits, st.Misses)
 	}
 }
 
@@ -171,11 +171,11 @@ func TestCacheConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	hits, misses := c.Stats()
-	if hits == 0 {
+	st := c.Stats()
+	if st.Hits == 0 {
 		t.Error("concurrent workload produced no cache hits")
 	}
-	if hits+misses != 8*200 {
-		t.Errorf("hits+misses = %d, want %d", hits+misses, 8*200)
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*200)
 	}
 }

@@ -217,18 +217,24 @@ func multiPathFn(s *State) (func(k core.MulticastSet) dfr.Star, error) {
 // so geometry-dependent schemes stay buildable over faulty meshes (the
 // degraded router validates and repairs their blind spots).
 func meshOf(t topology.Topology) (*topology.Mesh2D, bool) {
-	if mk, ok := t.(*topology.Masked); ok {
-		t = mk.Base()
-	}
-	m, ok := t.(*topology.Mesh2D)
+	m, ok := baseOf(t).(*topology.Mesh2D)
 	return m, ok
 }
 
 // cubeOf unwraps the hypercube beneath t, looking through a Masked view.
 func cubeOf(t topology.Topology) (*topology.Hypercube, bool) {
-	if mk, ok := t.(*topology.Masked); ok {
-		t = mk.Base()
-	}
-	h, ok := t.(*topology.Hypercube)
+	h, ok := baseOf(t).(*topology.Hypercube)
 	return h, ok
+}
+
+// baseOf looks through masked views — immutable Masked and incremental
+// LiveMasked alike — to the underlying healthy topology.
+func baseOf(t topology.Topology) topology.Topology {
+	switch v := t.(type) {
+	case *topology.Masked:
+		return v.Base()
+	case *topology.LiveMasked:
+		return v.Base()
+	}
+	return t
 }

@@ -1,0 +1,290 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+)
+
+// GraphDelta is one batch of physical host-graph changes: hardware that
+// fails and hardware that comes back. It is the topology-level half of a
+// fault/repair delta (virtual-channel faults do not change the physical
+// graph and are handled by the routing layers above).
+type GraphDelta struct {
+	FailNodes, RepairNodes []NodeID
+	FailLinks, RepairLinks []Link
+}
+
+// Empty reports a delta with no changes.
+func (d GraphDelta) Empty() bool {
+	return len(d.FailNodes) == 0 && len(d.RepairNodes) == 0 &&
+		len(d.FailLinks) == 0 && len(d.RepairLinks) == 0
+}
+
+// LiveMasked is the incremental counterpart of Masked: a masked view of a
+// base topology whose dead sets evolve by GraphDelta in O(|delta|) work
+// instead of a full rebuild. Every read — Neighbors order, Adjacent,
+// Distance, Reachable — is defined to agree exactly with a fresh
+// NewMasked built from the same dead sets, so routing over a LiveMasked
+// is byte-identical to routing over the equivalent immutable Masked.
+//
+// Concurrency contract (the epoch protocol): Apply is a write and must
+// not run concurrently with any read; between Apply calls — one epoch —
+// any number of goroutines may read. Distance rows are computed lazily by
+// per-source BFS and memoized for the current epoch behind an internal
+// mutex, so concurrent readers within an epoch are safe.
+type LiveMasked struct {
+	base      Topology
+	epoch     uint64
+	deadNode  []bool
+	deadLink  map[Link]bool
+	neighbors [][]NodeID
+
+	// Lazily computed per-source distance rows of the current epoch.
+	// Unreachable pairs hold Nodes(), exactly like Masked.
+	mu   sync.Mutex
+	rows map[NodeID][]int16
+}
+
+// NewLiveMasked returns the live masked view of base with every node and
+// link healthy (epoch 0).
+func NewLiveMasked(base Topology) *LiveMasked {
+	n := base.Nodes()
+	m := &LiveMasked{
+		base:      base,
+		deadNode:  make([]bool, n),
+		deadLink:  make(map[Link]bool),
+		neighbors: make([][]NodeID, n),
+		rows:      make(map[NodeID][]int16),
+	}
+	for v := 0; v < n; v++ {
+		m.neighbors[v] = base.Neighbors(NodeID(v), nil)
+	}
+	return m
+}
+
+// Apply advances the view by one delta: failed nodes and links leave the
+// graph, repaired ones return. Only the neighbor rows of affected nodes
+// are rebuilt — O(sum of affected degrees) — and the epoch counter is
+// bumped, discarding the memoized distance rows. Failing dead hardware
+// and repairing healthy hardware are no-ops. It returns the nodes whose
+// adjacency rows changed (ascending, deduplicated), which callers use to
+// patch derived per-node tables in place.
+func (m *LiveMasked) Apply(d GraphDelta) []NodeID {
+	n := m.base.Nodes()
+	touched := make(map[NodeID]bool)
+	touchNode := func(v NodeID) {
+		checkNode(v, n, m)
+		touched[v] = true
+		for _, w := range m.base.Neighbors(v, nil) {
+			touched[w] = true
+		}
+	}
+	for _, v := range d.FailNodes {
+		checkNode(v, n, m)
+		if !m.deadNode[v] {
+			m.deadNode[v] = true
+			touchNode(v)
+		}
+	}
+	for _, v := range d.RepairNodes {
+		checkNode(v, n, m)
+		if m.deadNode[v] {
+			m.deadNode[v] = false
+			touchNode(v)
+		}
+	}
+	touchLink := func(l Link, fail bool) {
+		l = NormLink(l.U, l.V)
+		checkNode(l.U, n, m)
+		checkNode(l.V, n, m)
+		if !m.base.Adjacent(l.U, l.V) {
+			return // non-edges are ignored, as in NewMasked
+		}
+		if m.deadLink[l] == fail {
+			return
+		}
+		if fail {
+			m.deadLink[l] = true
+		} else {
+			delete(m.deadLink, l)
+		}
+		touched[l.U] = true
+		touched[l.V] = true
+	}
+	for _, l := range d.FailLinks {
+		touchLink(l, true)
+	}
+	for _, l := range d.RepairLinks {
+		touchLink(l, false)
+	}
+
+	changed := make([]NodeID, 0, len(touched))
+	for v := range touched {
+		changed = append(changed, v)
+	}
+	sortNodeIDs(changed)
+	var buf []NodeID
+	for _, v := range changed {
+		m.neighbors[v] = m.rebuildRow(v, m.neighbors[v][:0], &buf)
+	}
+	m.epoch++
+	m.mu.Lock()
+	m.rows = make(map[NodeID][]int16)
+	m.mu.Unlock()
+	return changed
+}
+
+// rebuildRow refilters v's base neighbor list against the dead sets,
+// reusing row's storage. The filter order matches NewMasked exactly.
+func (m *LiveMasked) rebuildRow(v NodeID, row []NodeID, buf *[]NodeID) []NodeID {
+	if m.deadNode[v] {
+		return row[:0]
+	}
+	*buf = m.base.Neighbors(v, (*buf)[:0])
+	for _, p := range *buf {
+		if m.deadNode[p] || m.deadLink[NormLink(v, p)] {
+			continue
+		}
+		row = append(row, p)
+	}
+	return row
+}
+
+// Epoch returns the number of deltas applied so far.
+func (m *LiveMasked) Epoch() uint64 { return m.epoch }
+
+// Base returns the underlying healthy topology.
+func (m *LiveMasked) Base() Topology { return m.base }
+
+// Name implements Topology. Unlike Masked's fingerprint name it is
+// epoch-stamped: live views are identified by their position in the delta
+// stream, not by their dead sets, and must never be used as shared-state
+// cache keys.
+func (m *LiveMasked) Name() string {
+	return fmt.Sprintf("%s/live@%d", m.base.Name(), m.epoch)
+}
+
+// Nodes implements Topology: the id space of the base topology, dead
+// nodes included.
+func (m *LiveMasked) Nodes() int { return m.base.Nodes() }
+
+// MaxDegree implements Topology (the base bound; masking only removes
+// links).
+func (m *LiveMasked) MaxDegree() int { return m.base.MaxDegree() }
+
+// Neighbors implements Topology over the current epoch's masked graph.
+func (m *LiveMasked) Neighbors(v NodeID, buf []NodeID) []NodeID {
+	checkNode(v, len(m.deadNode), m)
+	return append(buf, m.neighbors[v]...)
+}
+
+// NeighborsShared returns v's live adjacency row without copying. The
+// returned slice is replaced wholesale (never mutated) by Apply, so
+// holding it across epochs yields a stale — not corrupted — view;
+// LiveState re-fetches rows for every node Apply reports changed.
+func (m *LiveMasked) NeighborsShared(v NodeID) []NodeID {
+	checkNode(v, len(m.deadNode), m)
+	return m.neighbors[v]
+}
+
+// Adjacent implements Topology over the current epoch's masked graph.
+func (m *LiveMasked) Adjacent(u, v NodeID) bool {
+	checkNode(u, len(m.deadNode), m)
+	checkNode(v, len(m.deadNode), m)
+	return !m.deadNode[u] && !m.deadNode[v] &&
+		!m.deadLink[NormLink(u, v)] && m.base.Adjacent(u, v)
+}
+
+// Distance implements Topology over the masked graph; unreachable pairs
+// return Nodes(), exactly like Masked. Rows are computed by BFS on first
+// use per source and memoized for the epoch.
+func (m *LiveMasked) Distance(u, v NodeID) int {
+	n := len(m.deadNode)
+	checkNode(u, n, m)
+	checkNode(v, n, m)
+	return int(m.row(u)[v])
+}
+
+// Reachable reports whether a path exists between u and v in the current
+// epoch's masked graph.
+func (m *LiveMasked) Reachable(u, v NodeID) bool {
+	return m.Distance(u, v) < len(m.deadNode)
+}
+
+// Diameter implements Topology: the maximum distance over reachable
+// pairs of the current epoch. It materializes every distance row, so it
+// costs a full all-pairs BFS on first use per epoch; routing never calls
+// it on masked views.
+func (m *LiveMasked) Diameter() int {
+	diam := 0
+	n := len(m.deadNode)
+	for s := 0; s < n; s++ {
+		if m.deadNode[s] {
+			continue
+		}
+		for _, d := range m.row(NodeID(s)) {
+			if int(d) < n && int(d) > diam {
+				diam = int(d)
+			}
+		}
+	}
+	return diam
+}
+
+// NodeDead reports whether v is currently masked out.
+func (m *LiveMasked) NodeDead(v NodeID) bool {
+	checkNode(v, len(m.deadNode), m)
+	return m.deadNode[v]
+}
+
+// LinkDead reports whether the (undirected) link between u and v is
+// currently masked out, either directly or via a dead endpoint.
+func (m *LiveMasked) LinkDead(u, v NodeID) bool {
+	checkNode(u, len(m.deadNode), m)
+	checkNode(v, len(m.deadNode), m)
+	return m.deadNode[u] || m.deadNode[v] || m.deadLink[NormLink(u, v)]
+}
+
+// row returns u's memoized distance row, computing it by BFS over the
+// live adjacency on first use in the current epoch.
+func (m *LiveMasked) row(u NodeID) []int16 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.rows[u]; ok {
+		return r
+	}
+	n := len(m.deadNode)
+	unreach := int16(n)
+	r := make([]int16, n)
+	for i := range r {
+		r[i] = unreach
+	}
+	if !m.deadNode[u] {
+		r[u] = 0
+		queue := make([]NodeID, 0, n)
+		queue = append(queue, u)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			dc := r[cur]
+			for _, w := range m.neighbors[cur] {
+				if r[w] == unreach {
+					r[w] = dc + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	m.rows[u] = r
+	return r
+}
+
+// sortNodeIDs sorts ids ascending (insertion sort; delta fan-outs are a
+// handful of nodes).
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

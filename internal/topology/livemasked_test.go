@@ -1,0 +1,166 @@
+package topology
+
+import (
+	"testing"
+
+	"multicastnet/internal/stats"
+)
+
+// churnStream drives a deterministic fault/repair interleaving over t:
+// each step flips a seeded coin between failing a healthy link/node and
+// repairing a dead one, and the live view is compared against a fresh
+// NewMasked built from the same dead sets.
+func churnEquivalence(t *testing.T, base Topology, steps int, seed uint64) {
+	t.Helper()
+	live := NewLiveMasked(base)
+	links := enumerateLinksT(base)
+	rng := stats.NewRand(seed)
+	deadLinks := make(map[Link]bool)
+	deadNodes := make(map[NodeID]bool)
+
+	for step := 0; step < steps; step++ {
+		var d GraphDelta
+		switch rng.Intn(4) {
+		case 0: // fail a link
+			l := links[rng.Intn(len(links))]
+			d.FailLinks = append(d.FailLinks, l)
+			deadLinks[l] = true
+		case 1: // repair a dead link, if any
+			for l := range deadLinks {
+				d.RepairLinks = append(d.RepairLinks, l)
+				delete(deadLinks, l)
+				break
+			}
+		case 2: // fail a node
+			v := NodeID(rng.Intn(base.Nodes()))
+			d.FailNodes = append(d.FailNodes, v)
+			deadNodes[v] = true
+		default: // repair a dead node, if any
+			for v := range deadNodes {
+				d.RepairNodes = append(d.RepairNodes, v)
+				delete(deadNodes, v)
+				break
+			}
+		}
+		live.Apply(d)
+
+		var dn []NodeID
+		for v := range deadNodes {
+			dn = append(dn, v)
+		}
+		var dl []Link
+		for l := range deadLinks {
+			dl = append(dl, l)
+		}
+		ref := NewMasked(base, dn, dl)
+
+		for v := 0; v < base.Nodes(); v++ {
+			lv := live.Neighbors(NodeID(v), nil)
+			rv := ref.Neighbors(NodeID(v), nil)
+			if len(lv) != len(rv) {
+				t.Fatalf("step %d: node %d neighbor count: live %v ref %v", step, v, lv, rv)
+			}
+			for i := range lv {
+				if lv[i] != rv[i] {
+					t.Fatalf("step %d: node %d neighbor order: live %v ref %v", step, v, lv, rv)
+				}
+			}
+			if live.NodeDead(NodeID(v)) != ref.NodeDead(NodeID(v)) {
+				t.Fatalf("step %d: node %d dead state disagrees", step, v)
+			}
+		}
+		// Distances and reachability on a seeded sample of pairs.
+		for i := 0; i < 40; i++ {
+			u := NodeID(rng.Intn(base.Nodes()))
+			v := NodeID(rng.Intn(base.Nodes()))
+			if lu, ru := live.Distance(u, v), ref.Distance(u, v); lu != ru {
+				t.Fatalf("step %d: distance(%d,%d): live %d ref %d", step, u, v, lu, ru)
+			}
+			if live.Reachable(u, v) != ref.Reachable(u, v) {
+				t.Fatalf("step %d: reachable(%d,%d) disagrees", step, u, v)
+			}
+			if live.Adjacent(u, v) != ref.Adjacent(u, v) {
+				t.Fatalf("step %d: adjacent(%d,%d) disagrees", step, u, v)
+			}
+			if live.LinkDead(u, v) != ref.LinkDead(u, v) {
+				t.Fatalf("step %d: linkdead(%d,%d) disagrees", step, u, v)
+			}
+		}
+		if live.Diameter() != ref.Diameter() {
+			t.Fatalf("step %d: diameter: live %d ref %d", step, live.Diameter(), ref.Diameter())
+		}
+	}
+	if live.Epoch() != uint64(steps) {
+		t.Fatalf("epoch %d after %d steps", live.Epoch(), steps)
+	}
+}
+
+// enumerateLinksT lists undirected links in canonical order (test-local
+// duplicate of fault.EnumerateLinks to avoid an import cycle).
+func enumerateLinksT(t Topology) []Link {
+	var links []Link
+	var buf []NodeID
+	for v := 0; v < t.Nodes(); v++ {
+		buf = t.Neighbors(NodeID(v), buf[:0])
+		for _, w := range buf {
+			if NodeID(v) < w {
+				links = append(links, Link{U: NodeID(v), V: w})
+			}
+		}
+	}
+	return links
+}
+
+func TestLiveMaskedEquivalence(t *testing.T) {
+	t.Run("mesh", func(t *testing.T) {
+		t.Parallel()
+		churnEquivalence(t, NewMesh2D(5, 4), 60, 0xC0FFEE)
+	})
+	t.Run("cube", func(t *testing.T) {
+		t.Parallel()
+		churnEquivalence(t, NewHypercube(4), 60, 0xBEEF)
+	})
+}
+
+// TestLiveMaskedNoOpDeltas: failing dead hardware and repairing healthy
+// hardware must change nothing, including the changed-node report.
+func TestLiveMaskedNoOpDeltas(t *testing.T) {
+	base := NewMesh2D(3, 3)
+	live := NewLiveMasked(base)
+	if ch := live.Apply(GraphDelta{RepairNodes: []NodeID{4}, RepairLinks: []Link{{U: 0, V: 1}}}); len(ch) != 0 {
+		t.Fatalf("repairing healthy hardware reported changes: %v", ch)
+	}
+	if ch := live.Apply(GraphDelta{FailLinks: []Link{{U: 0, V: 1}}}); len(ch) != 2 {
+		t.Fatalf("link fault changed %v, want the two endpoints", ch)
+	}
+	if ch := live.Apply(GraphDelta{FailLinks: []Link{{U: 1, V: 0}}}); len(ch) != 0 {
+		t.Fatalf("re-failing a dead link reported changes: %v", ch)
+	}
+	// Non-edges are ignored, as in NewMasked.
+	if ch := live.Apply(GraphDelta{FailLinks: []Link{{U: 0, V: 8}}}); len(ch) != 0 {
+		t.Fatalf("failing a non-edge reported changes: %v", ch)
+	}
+}
+
+// TestLiveMaskedNodeRepairRestoresLinks: a repaired node regains exactly
+// the incident links that are not themselves dead.
+func TestLiveMaskedNodeRepairRestoresLinks(t *testing.T) {
+	base := NewMesh2D(3, 3)
+	live := NewLiveMasked(base)
+	center := base.ID(1, 1)
+	live.Apply(GraphDelta{FailLinks: []Link{NormLink(center, base.ID(0, 1))}})
+	live.Apply(GraphDelta{FailNodes: []NodeID{center}})
+	if got := live.Neighbors(center, nil); len(got) != 0 {
+		t.Fatalf("dead node has neighbors %v", got)
+	}
+	live.Apply(GraphDelta{RepairNodes: []NodeID{center}})
+	got := live.Neighbors(center, nil)
+	if len(got) != 3 {
+		t.Fatalf("repaired node neighbors %v, want 3 (one link still dead)", got)
+	}
+	for _, w := range got {
+		if w == base.ID(0, 1) {
+			t.Fatalf("separately dead link came back with the node repair")
+		}
+	}
+}
