@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-regression results fuzz check-fault check-scale check-churn
+.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-serve-baseline bench-regression results fuzz check-fault check-scale check-churn check-serve
 
 ## check: everything CI runs — format, vet, build, race tests, quick benchmarks
 check: fmt vet build race bench
@@ -38,18 +38,24 @@ bench-wormsim-baseline:
 bench-baseline: bench-wormsim-baseline
 
 ## bench-regression: warn-only throughput gate — re-measures the serial and
-## sharded core workloads and warns (exit 0 regardless) on a >15%
-## cycles_per_sec regression against the committed BENCH_wormsim.json
+## sharded core workloads plus the scheduling-service window path and warns
+## (exit 0 regardless) on a >15% regression against the committed baselines
 bench-regression:
 	$(GO) run ./cmd/mcfigures -bench-compare BENCH_wormsim.json
+	$(GO) test ./internal/sched -run TestServeBenchRegression -serve-bench-compare
+
+## bench-serve-baseline: regenerate the committed BENCH_serve.json (one
+## steady-state 256-request admission window on the 64x64 mesh)
+bench-serve-baseline:
+	$(GO) test ./internal/sched -run TestWriteServeBenchBaseline -update-serve-bench
 
 ## bench-routing-baseline: regenerate the committed BENCH_routing.json
 bench-routing-baseline:
-	$(GO) test -run TestWriteRoutingBenchBaseline -update-routing-bench ./internal/routing
+	$(GO) test ./internal/routing -run TestWriteRoutingBenchBaseline -update-routing-bench
 
 ## bench-heuristics-baseline: regenerate the committed BENCH_heuristics.json (before/after kernel comparison)
 bench-heuristics-baseline:
-	$(GO) test -run TestWriteHeuristicsBenchBaseline -update-heuristics-bench ./internal/heuristics
+	$(GO) test ./internal/heuristics -run TestWriteHeuristicsBenchBaseline -update-heuristics-bench
 
 ## fuzz: 30-second smoke of every fuzz target (healthy routing invariants + fault-mask CDG acyclicity)
 fuzz:
@@ -87,9 +93,27 @@ check-churn:
 	done; \
 	echo "check-churn: deterministic mcchurn outputs byte-identical across -parallel/-shards"
 
+## check-serve: the scheduling-service acceptance suite — window packing,
+## worker-count invariance, the allocation-free steady state, the reduced
+## serving study, and byte-identity of every mcserve output across
+## -parallel/-shards
+check-serve:
+	$(GO) test ./internal/sched
+	$(GO) test -run 'TestServeStudySmall' ./internal/experiments
+	@a=$$(mktemp -d); b=$$(mktemp -d); \
+	$(GO) run ./cmd/mcserve -quick -parallel 1 -shards 1 -out $$a >/dev/null; \
+	$(GO) run ./cmd/mcserve -quick -parallel 4 -shards 4 -out $$b >/dev/null; \
+	for f in serve_throughput.txt serve_throughput.csv serve_p99.txt serve_p99.csv \
+		serve_window_throughput.txt serve_window_throughput.csv \
+		serve_window_p99.txt serve_window_p99.csv serve_study.txt; do \
+		cmp $$a/$$f $$b/$$f || { echo "check-serve: $$f differs across -parallel/-shards"; exit 1; }; \
+	done; \
+	echo "check-serve: mcserve outputs byte-identical across -parallel/-shards"
+
 ## results: regenerate every table and figure at full fidelity
 results:
 	$(GO) run ./cmd/mcfigures -out results
 	$(GO) run ./cmd/mcfault -out results
 	$(GO) run ./cmd/mcscale -out results
 	$(GO) run ./cmd/mcchurn -out results
+	$(GO) run ./cmd/mcserve -out results

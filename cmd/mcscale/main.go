@@ -52,6 +52,10 @@ func main() {
 		}
 	}
 
+	if runtime.NumCPU() == 1 {
+		fmt.Println("mcscale: warning: runtime.NumCPU() == 1 — the sharded engine has no parallelism to exploit; speedup columns measure coordination overhead only")
+	}
+
 	res := experiments.ScaleStudy(opts)
 
 	if *csv {
@@ -98,6 +102,10 @@ func writeSummary(dir string, res experiments.ScaleResult) {
 	fmt.Fprintf(f, "summary implies byte-identical simulation at every shard count.\n")
 	fmt.Fprintf(f, "Speedup > 1 requires gomaxprocs > 1; on a single-core host the sharded\n")
 	fmt.Fprintf(f, "engine only measures its coordination overhead.\n")
+	if runtime.NumCPU() == 1 {
+		fmt.Fprintf(f, "\nwarning: this run executed with runtime.NumCPU() == 1 — speedup\n")
+		fmt.Fprintf(f, "columns reflect coordination overhead, not parallel scaling.\n")
+	}
 }
 
 func writeFigure(dir, name string, fig *stats.Figure, csv bool) {

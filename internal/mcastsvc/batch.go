@@ -1,0 +1,72 @@
+package mcastsvc
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"multicastnet/internal/core"
+	"multicastnet/internal/routing"
+	"multicastnet/internal/topology"
+)
+
+// Request names one multicast to plan: a source and its destination
+// processes. Destination order is irrelevant — requests that name the
+// same set in any order are deduplicated.
+type Request struct {
+	Source topology.NodeID
+	Dests  []topology.NodeID
+}
+
+// BatchPlan plans a batch of multicasts through the service's cached
+// router and returns one plan per request, in input order. Before
+// planning, requests are sorted by their canonicalized destination-set
+// key (source plus sorted destinations), so duplicates land adjacently
+// and each distinct set is planned — and looked up in the plan cache —
+// exactly once; duplicate requests share the representative's plan.
+// Group communication batches are highly repetitive (the same barrier
+// and allreduce groups recur every iteration), so the dedup converts
+// most of a batch into zero-lookup copies and the remainder into at most
+// one cache probe per distinct set.
+//
+// Any invalid request fails the whole batch.
+func (s *Service) BatchPlan(reqs []Request) ([]routing.Plan, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	sets := make([]core.MulticastSet, len(reqs))
+	keys := make([]string, len(reqs))
+	var kb []byte
+	for i, r := range reqs {
+		dests := make([]topology.NodeID, len(r.Dests))
+		copy(dests, r.Dests)
+		sort.Slice(dests, func(a, b int) bool { return dests[a] < dests[b] })
+		k, err := core.NewMulticastSet(s.cfg.Topology, r.Source, dests)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = k
+		kb = kb[:0]
+		kb = binary.AppendUvarint(kb, uint64(k.Source))
+		for _, d := range k.Dests {
+			kb = binary.AppendUvarint(kb, uint64(d))
+		}
+		keys[i] = string(kb)
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	plans := make([]routing.Plan, len(reqs))
+	for i := 0; i < len(order); {
+		rep := order[i]
+		p := s.route(sets[rep])
+		j := i
+		for ; j < len(order) && keys[order[j]] == keys[rep]; j++ {
+			plans[order[j]] = p
+		}
+		i = j
+	}
+	return plans, nil
+}

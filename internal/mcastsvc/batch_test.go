@@ -1,0 +1,105 @@
+package mcastsvc
+
+import (
+	"reflect"
+	"testing"
+
+	"multicastnet/internal/topology"
+)
+
+// TestBatchPlanDedup pins the batch dedup contract: a batch naming three
+// distinct sets across ten requests (duplicates in permuted destination
+// order) costs exactly three cache lookups — all misses on a cold cache,
+// all hits on the next batch — and every request gets the plan of its
+// canonical set, in input order.
+func TestBatchPlanDedup(t *testing.T) {
+	svc, err := New(Config{Topology: topology.NewMesh2D(8, 8), SchemeName: "dual-path"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Source: 0, Dests: []topology.NodeID{5, 9, 22}},
+		{Source: 7, Dests: []topology.NodeID{1, 60}},
+		{Source: 0, Dests: []topology.NodeID{22, 5, 9}}, // dup of 0, permuted
+		{Source: 30, Dests: []topology.NodeID{31, 38, 29}},
+		{Source: 0, Dests: []topology.NodeID{9, 22, 5}}, // dup of 0, permuted
+		{Source: 7, Dests: []topology.NodeID{60, 1}},    // dup of 1, permuted
+		{Source: 0, Dests: []topology.NodeID{5, 9, 22}}, // dup of 0, verbatim
+		{Source: 30, Dests: []topology.NodeID{29, 31, 38}},
+		{Source: 7, Dests: []topology.NodeID{1, 60}},
+		{Source: 0, Dests: []topology.NodeID{22, 9, 5}},
+	}
+	const distinct = 3
+
+	before := svc.CacheStats()
+	plans, err := svc.BatchPlan(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := svc.CacheStats()
+	if len(plans) != len(reqs) {
+		t.Fatalf("got %d plans for %d requests", len(plans), len(reqs))
+	}
+	if miss := after.Misses - before.Misses; miss != distinct {
+		t.Errorf("cold batch missed %d times, want %d (one per distinct set)", miss, distinct)
+	}
+	if hit := after.Hits - before.Hits; hit != 0 {
+		t.Errorf("cold batch hit %d times, want 0", hit)
+	}
+
+	// Duplicates share their representative's plan; distinct sets differ.
+	if !reflect.DeepEqual(plans[0], plans[2]) || !reflect.DeepEqual(plans[0], plans[6]) {
+		t.Error("permuted duplicates did not share one plan")
+	}
+	if !reflect.DeepEqual(plans[1], plans[5]) || !reflect.DeepEqual(plans[3], plans[7]) {
+		t.Error("duplicates of sets 1/3 did not share one plan")
+	}
+	if reflect.DeepEqual(plans[0], plans[1]) {
+		t.Error("distinct sets returned equal plans")
+	}
+	// Each plan serves its own request's destinations.
+	for i, p := range plans {
+		if p.MaxDistance() <= 0 {
+			t.Errorf("plan %d has no routes", i)
+		}
+	}
+
+	// A repeat batch is pure cache hits — still one lookup per distinct set.
+	mid := svc.CacheStats()
+	again, err := svc.BatchPlan(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := svc.CacheStats()
+	if hit := end.Hits - mid.Hits; hit != distinct {
+		t.Errorf("warm batch hit %d times, want %d", hit, distinct)
+	}
+	if miss := end.Misses - mid.Misses; miss != 0 {
+		t.Errorf("warm batch missed %d times, want 0", miss)
+	}
+	if !reflect.DeepEqual(plans, again) {
+		t.Error("warm batch plans diverged from cold batch")
+	}
+}
+
+// TestBatchPlanValidation pins whole-batch failure on any invalid request.
+func TestBatchPlanValidation(t *testing.T) {
+	svc, err := New(Config{Topology: topology.NewMesh2D(4, 4), SchemeName: "dual-path"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reqs := range [][]Request{
+		{{Source: 0, Dests: []topology.NodeID{99}}},   // out of range
+		{{Source: 3, Dests: []topology.NodeID{3}}},    // source as dest
+		{{Source: 0, Dests: []topology.NodeID{1, 1}}}, // duplicate dest
+		{{Source: 0, Dests: nil}},                     // empty
+		{{Source: 0, Dests: []topology.NodeID{1}}, {Source: -1, Dests: []topology.NodeID{1}}},
+	} {
+		if _, err := svc.BatchPlan(reqs); err == nil {
+			t.Errorf("BatchPlan(%v) accepted an invalid batch", reqs)
+		}
+	}
+	if plans, err := svc.BatchPlan(nil); err != nil || plans != nil {
+		t.Errorf("empty batch: got %v, %v", plans, err)
+	}
+}

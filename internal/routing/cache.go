@@ -259,6 +259,37 @@ func (c *PlanCache) shardFor(key string) *cacheShard {
 	return &c.shards[h&(cacheShards-1)]
 }
 
+// shardForBytes is shardFor over a byte-buffer key (same FNV-1a).
+func (c *PlanCache) shardForBytes(key []byte) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+// getBytes is get for a key held in a reusable byte buffer. The map
+// access converts the buffer without allocating (the compiler's
+// map[string(b)] special case), so a cache hit on the scheduling hot
+// path costs no allocation.
+func (c *PlanCache) getBytes(key []byte) (cacheEntry, bool) {
+	s := c.shardForBytes(key)
+	s.mu.Lock()
+	e, ok := s.plans[string(key)]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
 func (c *PlanCache) get(key string) (cacheEntry, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -315,6 +346,33 @@ func planKey(id string, k core.MulticastSet, repr byte) string {
 		buf = binary.AppendUvarint(buf, uint64(d))
 	}
 	return string(buf)
+}
+
+// appendPlanKeySorted appends the cache key of (repr, id, k) to dst and
+// returns the grown buffer. It requires k.Dests already sorted ascending
+// and then produces exactly the bytes of planKey, so entries built
+// through either path share one cache slot. Unlike planKey it copies and
+// sorts nothing: with a reused buffer the key build is allocation-free.
+func appendPlanKeySorted(dst []byte, id string, k core.MulticastSet, repr byte) []byte {
+	dst = append(dst, repr)
+	dst = append(dst, id...)
+	dst = append(dst, 0)
+	dst = binary.AppendUvarint(dst, uint64(k.Source))
+	for _, d := range k.Dests {
+		dst = binary.AppendUvarint(dst, uint64(d))
+	}
+	return dst
+}
+
+// destsSorted reports whether dests is sorted ascending — the
+// precondition of appendPlanKeySorted.
+func destsSorted(dests []topology.NodeID) bool {
+	for i := 1; i < len(dests); i++ {
+		if dests[i-1] > dests[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // GetPlan looks up the route-form plan cached under (id, k). It is the

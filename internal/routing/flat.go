@@ -191,6 +191,61 @@ func (r *FlatRouter) FlatSet(k core.MulticastSet) *FlatPlan {
 	return f
 }
 
+// FlatSetBuf is FlatSet with a caller-owned reusable key buffer — the
+// zero-allocation lookup of the scheduling service's steady state. When
+// k.Dests is sorted ascending (the scheduler canonicalizes at ingestion)
+// and the plan is cached, the call allocates nothing: the key is built
+// into buf and the map lookup converts it without copying. It returns
+// the plan and the (possibly grown) buffer for reuse. A nil cache or
+// unsorted destinations fall back to FlatSet.
+func (r *FlatRouter) FlatSetBuf(k core.MulticastSet, buf []byte) (*FlatPlan, []byte) {
+	if r.cache == nil || !destsSorted(k.Dests) {
+		return r.FlatSet(k), buf
+	}
+	buf = appendPlanKeySorted(buf[:0], r.Router.ID(), k, reprFlat)
+	if e, ok := r.cache.getBytes(buf); ok && e.flat != nil {
+		return e.flat, buf
+	}
+	f := Flatten(r.Router.PlanSet(k))
+	r.cache.put(string(buf), cacheEntry{flat: f})
+	return f, buf
+}
+
+// FlatProbeBuf splits FlatSetBuf's lookup from its planning: it probes
+// the cache for an already-canonicalized set (sorted dests) and reports
+// a miss instead of planning, so a scheduler can collect misses and
+// compute them on a worker pool. Like FlatSetBuf it counts exactly one
+// cache lookup, and a hit with a reused buffer allocates nothing.
+// Callers must complete a miss with FlatCompute + FlatInstallBuf.
+func (r *FlatRouter) FlatProbeBuf(k core.MulticastSet, buf []byte) (*FlatPlan, []byte, bool) {
+	if r.cache == nil || !destsSorted(k.Dests) {
+		return r.FlatSet(k), buf, true
+	}
+	buf = appendPlanKeySorted(buf[:0], r.Router.ID(), k, reprFlat)
+	if e, ok := r.cache.getBytes(buf); ok && e.flat != nil {
+		return e.flat, buf, true
+	}
+	return nil, buf, false
+}
+
+// FlatCompute plans and flattens without touching the cache — the
+// compute half of a FlatProbeBuf miss, safe to run concurrently.
+func (r *FlatRouter) FlatCompute(k core.MulticastSet) *FlatPlan {
+	return Flatten(r.Router.PlanSet(k))
+}
+
+// FlatInstallBuf stores a FlatCompute result under the canonical key of
+// an already-sorted set. Install order is the caller's, keeping FIFO
+// eviction deterministic however the misses were computed.
+func (r *FlatRouter) FlatInstallBuf(k core.MulticastSet, f *FlatPlan, buf []byte) []byte {
+	if r.cache == nil || !destsSorted(k.Dests) {
+		return buf
+	}
+	buf = appendPlanKeySorted(buf[:0], r.Router.ID(), k, reprFlat)
+	r.cache.put(string(buf), cacheEntry{flat: f})
+	return buf
+}
+
 // FlatPlanOf validates (source, dests) as a multicast set and returns the
 // dense form.
 func (r *FlatRouter) FlatPlanOf(src topology.NodeID, dests []topology.NodeID) (*FlatPlan, error) {

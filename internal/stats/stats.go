@@ -211,6 +211,29 @@ func (b *BatchMeans) Converged(frac float64, minBatches int) bool {
 	return b.HalfWidth() <= frac*math.Abs(m)
 }
 
+// Percentile returns the p-quantile (p in [0,1]) of an ascending-sorted
+// sample by linear interpolation between closest ranks, the definition
+// spreadsheet tools use. It panics on an empty sample; callers sort, so
+// repeated quantiles of one sample cost one sort.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
 // tCritical95 returns the two-sided Student-t critical value at the 95%
 // level for the given degrees of freedom, from a standard table with the
 // normal limit beyond 120 dof.

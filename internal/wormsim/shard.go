@@ -352,8 +352,13 @@ func (n *Network) emitDelivery(ev shardEvent) {
 		n.onDeliveryDetail(ev.dest, ev.latency, ev.mc.size)
 	}
 	ev.mc.remaining--
-	if ev.mc.remaining == 0 && ev.mc.lost == 0 && n.onComplete != nil {
-		n.onComplete(n.cycle - ev.mc.spawned)
+	if ev.mc.remaining == 0 && ev.mc.lost == 0 {
+		if n.onComplete != nil {
+			n.onComplete(n.cycle - ev.mc.spawned)
+		}
+		if n.onCompleteTag != nil {
+			n.onCompleteTag(ev.mc.tag, n.cycle-ev.mc.spawned)
+		}
 	}
 }
 

@@ -116,10 +116,11 @@ type worm struct {
 // whole-multicast latency.
 type mcastState struct {
 	spawned   int64
-	size      int // destination count of the whole multicast
-	remaining int // undelivered destinations across all worms
-	lost      int // destinations lost to fault-killed worms
-	worms     int // worms still referencing this record (arena recycling)
+	size      int    // destination count of the whole multicast
+	remaining int    // undelivered destinations across all worms
+	lost      int    // destinations lost to fault-killed worms
+	worms     int    // worms still referencing this record (arena recycling)
+	tag       uint64 // caller-chosen id reported by OnCompleteTag
 }
 
 // chanState is the occupancy and FIFO wait queue of one channel. The
@@ -226,6 +227,7 @@ type Network struct {
 	onDelivery       func(dest topology.NodeID, latencyCycles int64)
 	onDeliveryDetail func(dest topology.NodeID, latencyCycles int64, mcastSize int)
 	onComplete       func(latencyCycles int64)
+	onCompleteTag    func(tag uint64, latencyCycles int64)
 	onLost           func(dest topology.NodeID, mcastSize int)
 }
 
@@ -248,6 +250,22 @@ func (n *Network) ActiveWorms() int { return n.inFlight }
 // cycles.
 func (n *Network) movable() bool {
 	return len(n.active) > 0 || len(n.wokenNow) > 0 || len(n.wokenNext) > 0
+}
+
+// Idle reports whether the network is frozen: no worm can advance until
+// new traffic is injected. Note an idle network may still hold parked
+// worms (ActiveWorms > 0 while Idle is a wait-for deadlock).
+func (n *Network) Idle() bool { return !n.movable() }
+
+// FastForward jumps the clock to target, the externally driven analogue
+// of Run's idle fast-forward. It is a no-op unless the network is idle
+// and target is ahead of the current cycle — a frozen network's state is
+// invariant under clock advances, so results are identical to stepping
+// cycle by cycle.
+func (n *Network) FastForward(target int64) {
+	if target > n.cycle && !n.movable() {
+		n.cycle = target
+	}
 }
 
 // Busy implements dfr.ChannelOracle: it reports whether a channel is
@@ -275,6 +293,12 @@ func (n *Network) OnDeliveryDetail(fn func(dest topology.NodeID, latencyCycles i
 // OnComplete registers a callback invoked when the last destination of a
 // multicast is delivered, with the multicast's completion latency.
 func (n *Network) OnComplete(fn func(latencyCycles int64)) { n.onComplete = fn }
+
+// OnCompleteTag registers a completion callback that also receives the
+// caller-chosen tag of InjectFlatTag, letting a service correlate each
+// completion with the request that produced it. Multicasts injected
+// without a tag report tag 0.
+func (n *Network) OnCompleteTag(fn func(tag uint64, latencyCycles int64)) { n.onCompleteTag = fn }
 
 // intern resolves a channel key to its dense id, creating (and
 // validating) the state slot on first use. Validation therefore happens
@@ -374,12 +398,19 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 // time, so injection walks packed arrays with no per-injection maps.
 // Behaviour is identical to InjectMulticast of the originating plan.
 func (n *Network) InjectFlat(fp *routing.FlatPlan, lengthFlits int) {
+	n.InjectFlatTag(fp, lengthFlits, 0)
+}
+
+// InjectFlatTag is InjectFlat with a caller-chosen tag reported back by
+// OnCompleteTag when the multicast's last destination is delivered.
+func (n *Network) InjectFlatTag(fp *routing.FlatPlan, lengthFlits int, tag uint64) {
 	if lengthFlits < 1 {
 		panic("wormsim: message must have at least one flit")
 	}
 	mc := n.allocMcast()
 	mc.spawned = n.cycle
 	mc.size = int(fp.TotalDests)
+	mc.tag = tag
 	for p := 0; p < fp.Paths(); p++ {
 		w := n.allocWorm()
 		w.kind = pathWorm
@@ -762,8 +793,13 @@ func (n *Network) deliver(w *worm, d *delivery) {
 	w.mcast.remaining--
 	// A multicast that lost any destination to a fault never completes;
 	// completion latency is only defined for fully delivered multicasts.
-	if w.mcast.remaining == 0 && w.mcast.lost == 0 && n.onComplete != nil {
-		n.onComplete(n.cycle - w.mcast.spawned)
+	if w.mcast.remaining == 0 && w.mcast.lost == 0 {
+		if n.onComplete != nil {
+			n.onComplete(n.cycle - w.mcast.spawned)
+		}
+		if n.onCompleteTag != nil {
+			n.onCompleteTag(w.mcast.tag, n.cycle-w.mcast.spawned)
+		}
 	}
 }
 
