@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-serve-baseline bench-regression results fuzz check-fault check-scale check-churn check-serve
+.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-serve-baseline bench-regression profile-wormsim results fuzz check-fault check-scale check-churn check-serve
 
 ## check: everything CI runs — format, vet, build, race tests, quick benchmarks
 check: fmt vet build race bench
@@ -37,12 +37,20 @@ bench-wormsim-baseline:
 ## bench-baseline: legacy alias of bench-wormsim-baseline
 bench-baseline: bench-wormsim-baseline
 
-## bench-regression: warn-only throughput gate — re-measures the serial and
-## sharded core workloads plus the scheduling-service window path and warns
-## (exit 0 regardless) on a >15% regression against the committed baselines
+## bench-regression: throughput gate — re-measures the serial and sharded
+## core workloads plus the scheduling-service window path against the
+## committed baselines. A >25% serial wormsim cycles_per_sec regression
+## FAILS (exit 1); everything else (sharded figures on the 1-core host,
+## the serve path) stays warn-only, and all paths warn from 15%
 bench-regression:
 	$(GO) run ./cmd/mcfigures -bench-compare BENCH_wormsim.json
 	$(GO) test ./internal/sched -run TestServeBenchRegression -serve-bench-compare
+
+## profile-wormsim: CPU+alloc profile of the canonical serial core
+## benchmark; inspect with `go tool pprof wormsim.test wormsim.cpu.pprof`
+profile-wormsim:
+	$(GO) test -run '^$$' -bench BenchmarkWormsimCyclesPerSec -benchtime 20x \
+		-cpuprofile wormsim.cpu.pprof -memprofile wormsim.mem.pprof -o wormsim.test .
 
 ## bench-serve-baseline: regenerate the committed BENCH_serve.json (one
 ## steady-state 256-request admission window on the 64x64 mesh)

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"multicastnet/internal/experiments"
+	"multicastnet/internal/profiling"
 	"multicastnet/internal/stats"
 )
 
@@ -38,7 +39,13 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep workers for the counting passes (0 = GOMAXPROCS, 1 = sequential)")
 	shards := flag.Int("shards", 0, "step the simulator runs with the sharded engine (0/1 = serial; outputs are byte-identical)")
 	simcheck := flag.Bool("simcheck", false, "run wormsim invariant checks inside the simulator runs")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	opts := experiments.ChurnDefaults()
 	if *quick {

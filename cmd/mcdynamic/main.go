@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"multicastnet/internal/experiments"
+	"multicastnet/internal/profiling"
 	"multicastnet/internal/routing"
 	"multicastnet/internal/stats"
 )
@@ -33,7 +34,14 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	shards := flag.Int("shards", 0, "step each simulation with the sharded engine (0/1 = serial; figures are byte-identical)")
 	simcheck := flag.Bool("simcheck", false, "run wormsim invariant checks inside every simulation")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdynamic:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *listSchemes {
 		for _, info := range routing.Schemes() {

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"multicastnet/internal/experiments"
+	"multicastnet/internal/profiling"
 	"multicastnet/internal/stats"
 )
 
@@ -32,7 +33,13 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	shards := flag.Int("shards", 0, "step each attempt with the sharded engine (0/1 = serial; figures are byte-identical)")
 	simcheck := flag.Bool("simcheck", false, "run wormsim invariant checks inside every attempt")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	opts := experiments.FaultDefaults()
 	if *quick {

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"multicastnet/internal/experiments"
+	"multicastnet/internal/profiling"
 	"multicastnet/internal/stats"
 )
 
@@ -34,7 +35,13 @@ func main() {
 	shards := flag.String("shards", "", "comma-separated shard counts (default 2,4,8)")
 	csv := flag.Bool("csv", false, "emit CSV on stdout instead of writing files")
 	simcheck := flag.Bool("simcheck", false, "run wormsim invariant checks inside every run")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	opts := experiments.ScaleDefaults()
 	if *quick {

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"multicastnet/internal/experiments"
+	"multicastnet/internal/profiling"
 	"multicastnet/internal/stats"
 )
 
@@ -37,7 +38,13 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV on stdout instead of writing files")
 	parallel := flag.Int("parallel", 0, "sweep and planner workers (0 = GOMAXPROCS, 1 = sequential; outputs are byte-identical)")
 	shards := flag.Int("shards", 0, "simulator shard count (0/1 = serial; outputs are byte-identical)")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	opts := experiments.ServeDefaults()
 	if *quick {

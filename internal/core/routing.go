@@ -30,6 +30,15 @@ import (
 // the Hamilton-path successor/predecessor of u is always in the window —
 // so routes stay inside one acyclic channel subnetwork.
 func NextHop(t topology.Topology, l labeling.Labeling, u, v topology.NodeID) topology.NodeID {
+	var buf [32]topology.NodeID
+	return nextHopInto(t, l, u, v, buf[:0])
+}
+
+// nextHopInto is NextHop over a caller-provided neighbor buffer. The
+// buffer crosses the Topology interface, so it always escapes; callers
+// that walk whole routes (AppendRoute) hoist one buffer across the walk
+// instead of paying one heap allocation per hop.
+func nextHopInto(t topology.Topology, l labeling.Labeling, u, v topology.NodeID, buf []topology.NodeID) topology.NodeID {
 	if u == v {
 		panic("core: NextHop with u == v")
 	}
@@ -40,8 +49,7 @@ func NextHop(t topology.Topology, l labeling.Labeling, u, v topology.NodeID) top
 		bestLabel int
 		found     bool
 	)
-	var buf [32]topology.NodeID
-	neighbors := t.Neighbors(u, buf[:0])
+	neighbors := t.Neighbors(u, buf)
 	better := func(lp int) bool {
 		if !found {
 			return true
@@ -63,7 +71,7 @@ func NextHop(t topology.Topology, l labeling.Labeling, u, v topology.NodeID) top
 	if found {
 		return best
 	}
-	return NextHopLiteral(t, l, u, v)
+	return nextHopLiteralInto(t, l, u, v, buf)
 }
 
 // NextHopLiteral is the routing function R exactly as the dissertation's
@@ -72,6 +80,11 @@ func NextHop(t topology.Topology, l labeling.Labeling, u, v topology.NodeID) top
 // all neighbors of u. It is always label-monotone — the Hamilton-path
 // successor/predecessor qualifies — but not always minimal.
 func NextHopLiteral(t topology.Topology, l labeling.Labeling, u, v topology.NodeID) topology.NodeID {
+	var buf [32]topology.NodeID
+	return nextHopLiteralInto(t, l, u, v, buf[:0])
+}
+
+func nextHopLiteralInto(t topology.Topology, l labeling.Labeling, u, v topology.NodeID, buf []topology.NodeID) topology.NodeID {
 	if u == v {
 		panic("core: NextHopLiteral with u == v")
 	}
@@ -81,8 +94,7 @@ func NextHopLiteral(t topology.Topology, l labeling.Labeling, u, v topology.Node
 		bestLabel int
 		found     bool
 	)
-	var buf [32]topology.NodeID
-	for _, p := range t.Neighbors(u, buf[:0]) {
+	for _, p := range t.Neighbors(u, buf) {
 		lp := l.Label(p)
 		if lu < lv {
 			if lp <= lv && (!found || lp > bestLabel) {
@@ -106,16 +118,26 @@ func NextHopLiteral(t topology.Topology, l labeling.Labeling, u, v topology.Node
 // applying the routing function R. By Lemmas 6.1 and 6.4 the labels along
 // the sequence are strictly monotone, so the walk terminates.
 func RoutePath(t topology.Topology, l labeling.Labeling, u, v topology.NodeID) []topology.NodeID {
-	path := []topology.NodeID{u}
+	return AppendRoute(t, l, u, v, []topology.NodeID{u})
+}
+
+// AppendRoute appends the nodes strictly after u on the route from u to v
+// selected by R, and returns the extended slice — RoutePath for callers
+// that stitch multi-destination paths (the dual-path and multi-path
+// preparation) without a heap-allocated leg per destination. One neighbor
+// buffer serves the whole walk, so a leg costs one allocation instead of
+// one per hop.
+func AppendRoute(t topology.Topology, l labeling.Labeling, u, v topology.NodeID, dst []topology.NodeID) []topology.NodeID {
+	var buf [32]topology.NodeID
 	guard := 0
 	for u != v {
-		u = NextHop(t, l, u, v)
-		path = append(path, u)
+		u = nextHopInto(t, l, u, v, buf[:0])
+		dst = append(dst, u)
 		if guard++; guard > t.Nodes()+1 {
 			panic("core: routing function R failed to converge")
 		}
 	}
-	return path
+	return dst
 }
 
 // UnicastRouter is a deterministic one-to-one routing function: it

@@ -171,8 +171,7 @@ func routeThrough(t topology.Topology, l labeling.Labeling, start topology.NodeI
 		if cur == d {
 			continue
 		}
-		leg := core.RoutePath(t, l, cur, d)
-		nodes = append(nodes, leg[1:]...)
+		nodes = core.AppendRoute(t, l, cur, d, nodes)
 		cur = d
 	}
 	return nodes

@@ -1,0 +1,73 @@
+// Package profiling is the shared -cpuprofile/-memprofile plumbing for
+// the simulator CLIs. Every command registers the same two flags through
+// AddFlags, so any study — figures, faults, scale, churn, serving — can
+// be profiled under its real workload without a dedicated harness:
+//
+//	mcdynamic -quick -cpuprofile dyn.cpu.pprof -memprofile dyn.mem.pprof
+//	go tool pprof dyn.cpu.pprof
+//
+// `make profile-wormsim` profiles the canonical serial core benchmark
+// (BenchmarkWormsimCyclesPerSec) the same way.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile holds the flag values registered by AddFlags.
+type Profile struct {
+	cpu string
+	mem string
+	f   *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag set;
+// call it before flag.Parse.
+func AddFlags() *Profile {
+	p := &Profile{}
+	flag.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&p.mem, "memprofile", "", "write an allocation profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given. It returns a
+// stop function to defer in main: it stops the CPU profile and, when
+// -memprofile was given, writes the heap profile (after a GC, so the
+// numbers reflect live steady-state memory plus cumulative allocations).
+func (p *Profile) Start() (stop func(), err error) {
+	if p.cpu != "" {
+		p.f, err = os.Create(p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.f); err != nil {
+			p.f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return p.stopAll, nil
+}
+
+func (p *Profile) stopAll() {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		p.f.Close()
+		p.f = nil
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+		}
+	}
+}

@@ -2,6 +2,22 @@ package wormsim
 
 import "fmt"
 
+// ckScratch is CheckInvariants' reusable state: the audit used to build
+// maps of channel owners and multicast tallies on every call, which made
+// -simcheck runs allocate per cycle and distorted profiles. All
+// bookkeeping is now epoch-stamped slice scratch indexed by channel id,
+// worm slot, and multicast slot; only an actual violation (which ends the
+// run) allocates.
+type ckScratch struct {
+	ownerStamp []int64   // per channel: owner[] valid when == epoch
+	owner      []wormRef // per channel: accounted holder this epoch
+	wormStamp  []int64   // per worm slot: queue-membership marks
+	mcStamp    []int64   // per multicast slot: tallied this epoch
+	mcUndeliv  []int32   // per multicast slot: undelivered owed by live worms
+	mcList     []int32   // multicasts tallied this epoch, first-seen order
+	epoch      int64
+}
+
 // CheckInvariants audits the full simulator state and returns the first
 // violation found, or nil. It is the safety net behind the -simcheck
 // flag and the determinism tests: any bookkeeping drift between worms,
@@ -23,28 +39,40 @@ import "fmt"
 //     delivery flags, and each multicast's remaining+lost+delivered
 //     partitions its destination set.
 func (n *Network) CheckInvariants() error {
-	live := 0
-	owners := make(map[int32]*worm)
-	type mcastSeen struct {
-		undeliv int
-		flagged int
+	ck := &n.ck
+	ck.epoch++
+	base := ck.epoch
+	if len(ck.ownerStamp) < len(n.chanOwner) {
+		grow := len(n.chanOwner) - len(ck.ownerStamp)
+		ck.ownerStamp = append(ck.ownerStamp, make([]int64, grow)...)
+		ck.owner = append(ck.owner, make([]wormRef, grow)...)
 	}
-	mcasts := make(map[*mcastState]*mcastSeen)
-	for _, w := range n.worms {
+	if len(ck.wormStamp) < len(n.slots) {
+		ck.wormStamp = append(ck.wormStamp, make([]int64, len(n.slots)-len(ck.wormStamp))...)
+	}
+	if len(ck.mcStamp) < len(n.mcSlots) {
+		grow := len(n.mcSlots) - len(ck.mcStamp)
+		ck.mcStamp = append(ck.mcStamp, make([]int64, grow)...)
+		ck.mcUndeliv = append(ck.mcUndeliv, make([]int32, grow)...)
+	}
+	ck.mcList = ck.mcList[:0]
+	live := 0
+	for _, wi := range n.worms {
+		w := &n.slots[wi]
 		if w.done {
 			continue
 		}
 		live++
 		holds := func(id int32) error {
-			if prev, ok := owners[id]; ok {
-				return fmt.Errorf("wormsim: channel %d held by worms %d and %d", id, prev.id, w.id)
+			if ck.ownerStamp[id] == base {
+				return fmt.Errorf("wormsim: channel %d held by worms %d and %d", id, n.slots[ck.owner[id]].id, w.id)
 			}
-			owners[id] = w
-			st := &n.chans[id]
-			if st.dead {
+			ck.ownerStamp[id] = base
+			ck.owner[id] = wi
+			if n.chanOwner[id] == deadChan {
 				return fmt.Errorf("wormsim: worm %d holds failed channel %d", w.id, id)
 			}
-			if st.owner != w {
+			if n.chanOwner[id] != wi {
 				return fmt.Errorf("wormsim: worm %d believes it holds channel %d owned by someone else", w.id, id)
 			}
 			return nil
@@ -100,42 +128,44 @@ func (n *Network) CheckInvariants() error {
 			return fmt.Errorf("wormsim: worm %d undelivered count %d but %d deliveries pending",
 				w.id, w.undeliv, undeliv)
 		}
-		ms := mcasts[w.mcast]
-		if ms == nil {
-			ms = &mcastSeen{}
-			mcasts[w.mcast] = ms
+		if ck.mcStamp[w.mcast] != base {
+			ck.mcStamp[w.mcast] = base
+			ck.mcUndeliv[w.mcast] = 0
+			ck.mcList = append(ck.mcList, w.mcast)
 		}
-		ms.undeliv += undeliv
+		ck.mcUndeliv[w.mcast] += int32(undeliv)
 	}
 	if live != n.inFlight {
 		return fmt.Errorf("wormsim: %d live worms but inFlight = %d", live, n.inFlight)
 	}
-	for id := range n.chans {
-		st := &n.chans[id]
-		if st.owner != nil {
-			if st.owner.done {
-				return fmt.Errorf("wormsim: channel %d owned by retired worm %d", id, st.owner.id)
+	for id := range n.chanOwner {
+		if o := n.chanOwner[id]; o >= 0 {
+			if n.slots[o].done {
+				return fmt.Errorf("wormsim: channel %d owned by retired worm %d", id, n.slots[o].id)
 			}
-			if owners[int32(id)] != st.owner {
+			if ck.ownerStamp[id] != base || ck.owner[id] != o {
 				return fmt.Errorf("wormsim: channel %d owner worm %d does not account for holding it",
-					id, st.owner.id)
+					id, n.slots[o].id)
 			}
 		}
-		seen := make(map[*worm]bool, len(st.waiters()))
-		for _, q := range st.waiters() {
-			if q.done {
-				return fmt.Errorf("wormsim: retired worm %d still queued on channel %d", q.id, id)
+		// Queue-duplicate marks get a fresh epoch per channel (a worm may
+		// legitimately wait on many channels at once).
+		ck.epoch++
+		for _, q := range n.chanWaiters(int32(id)) {
+			if n.slots[q].done {
+				return fmt.Errorf("wormsim: retired worm %d still queued on channel %d", n.slots[q].id, id)
 			}
-			if seen[q] {
-				return fmt.Errorf("wormsim: worm %d queued twice on channel %d", q.id, id)
+			if ck.wormStamp[q] == ck.epoch {
+				return fmt.Errorf("wormsim: worm %d queued twice on channel %d", n.slots[q].id, id)
 			}
-			seen[q] = true
+			ck.wormStamp[q] = ck.epoch
 		}
 	}
-	for mc, ms := range mcasts {
-		if mc.remaining != ms.undeliv {
+	for _, mci := range ck.mcList {
+		mc := &n.mcSlots[mci]
+		if mc.remaining != int(ck.mcUndeliv[mci]) {
 			return fmt.Errorf("wormsim: multicast remaining %d but live worms owe %d deliveries",
-				mc.remaining, ms.undeliv)
+				mc.remaining, ck.mcUndeliv[mci])
 		}
 		if mc.remaining < 0 || mc.lost < 0 || mc.remaining+mc.lost > mc.size {
 			return fmt.Errorf("wormsim: multicast accounting broken: size %d remaining %d lost %d",

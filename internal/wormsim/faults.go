@@ -1,8 +1,6 @@
 package wormsim
 
 import (
-	"sort"
-
 	"multicastnet/internal/dfr"
 	"multicastnet/internal/topology"
 )
@@ -29,35 +27,41 @@ func (n *Network) KilledWorms() int { return n.killed }
 // that still reference dead hardware lose their worms on contact). Worms
 // currently holding or queued on a failing channel are killed
 // immediately, in ascending id order. It returns the number of worms
-// killed.
+// killed. Victim dedup uses epoch stamps over the worm slots, so a fault
+// activation mid-run allocates nothing once the scratch has warmed up.
 func (n *Network) FailWhere(pred func(c dfr.Channel) bool) int {
 	n.deadPreds = append(n.deadPreds, pred)
-	var victims []*worm
-	seen := make(map[*worm]bool)
-	collect := func(w *worm) {
-		if w != nil && !w.done && !seen[w] {
-			seen[w] = true
-			victims = append(victims, w)
+	n.victimEpoch++
+	if len(n.victimStamp) < len(n.slots) {
+		n.victimStamp = append(n.victimStamp, make([]int64, len(n.slots)-len(n.victimStamp))...)
+	}
+	victims := n.victimBuf[:0]
+	collect := func(wi wormRef) {
+		if wi >= 0 && !n.slots[wi].done && n.victimStamp[wi] != n.victimEpoch {
+			n.victimStamp[wi] = n.victimEpoch
+			victims = append(victims, wi)
 		}
 	}
 	for c, id := range n.chanIDs {
-		st := &n.chans[id]
-		if st.dead || !pred(c) {
+		if n.chanOwner[id] == deadChan || !pred(c) {
 			continue
 		}
-		st.dead = true
-		collect(st.owner)
-		for _, q := range st.waiters() {
+		// Collect the owner before the dead sentinel overwrites it.
+		collect(n.chanOwner[id])
+		n.chanOwner[id] = deadChan
+		n.chanDead[id] = true
+		for _, q := range n.chanWaiters(id) {
 			collect(q)
 		}
 	}
 	// Kill in ascending id order: chanIDs is a map, so the collection
 	// order above is not deterministic, but the kill order — and with it
 	// the OnLost callback order and all downstream wakes — must be.
-	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
-	for _, w := range victims {
-		n.killWorm(w)
+	n.sortRefsByID(victims)
+	for _, wi := range victims {
+		n.killWorm(wi)
 	}
+	n.victimBuf = victims[:0]
 	return len(victims)
 }
 
@@ -65,17 +69,18 @@ func (n *Network) FailWhere(pred func(c dfr.Channel) bool) int {
 // every channel it holds (waking their FIFO heads), reports its
 // undelivered destinations through OnLost, and retires. The multicast is
 // marked lossy so OnComplete never fires for it.
-func (n *Network) killWorm(w *worm) {
+func (n *Network) killWorm(wi wormRef) {
+	w := &n.slots[wi]
 	if w.done {
 		return
 	}
 	n.killed++
 	if w.kind == pathWorm {
 		if w.queuedAt >= 0 && w.queuedAt == w.headIdx && w.headIdx < len(w.chans) {
-			n.dequeue(w.chans[w.headIdx], w)
+			n.dequeue(w.chans[w.headIdx], wi)
 		}
 		for i := w.released; i < w.headIdx; i++ {
-			n.release(w.chans[i], w)
+			n.release(w.chans[i], wi)
 		}
 	} else {
 		if w.headIdx < len(w.levels) {
@@ -83,52 +88,55 @@ func (n *Network) killWorm(w *worm) {
 			for i, id := range l.channels {
 				switch {
 				case l.taken[i]:
-					n.release(id, w)
+					n.release(id, wi)
 				case l.queued:
-					n.dequeue(id, w)
+					n.dequeue(id, wi)
 				}
 			}
 		}
 		for li := w.released; li < w.headIdx && li < len(w.levels); li++ {
 			for _, id := range w.levels[li].channels {
-				n.release(id, w)
+				n.release(id, wi)
 			}
 		}
 	}
+	mci := w.mcast
 	for i := range w.deliveries {
 		d := &w.deliveries[i]
 		if d.done {
 			continue
 		}
 		d.done = true
-		w.mcast.remaining--
-		w.mcast.lost++
+		mc := &n.mcSlots[mci]
+		mc.remaining--
+		mc.lost++
 		if n.onLost != nil {
-			n.onLost(d.dest, w.mcast.size)
+			n.onLost(d.dest, mc.size)
 		}
 	}
 	w.undeliv = 0
-	n.retire(w)
+	n.retire(wi)
 }
 
-// dequeue removes w from one channel's wait queue; if the channel is
+// dequeue removes wi from one channel's wait queue; if the channel is
 // free and a new head emerges, that head is woken (it may have been
-// waiting behind w).
-func (n *Network) dequeue(id int32, w *worm) {
-	st := &n.chans[id]
-	live := st.waiters()
+// waiting behind wi).
+func (n *Network) dequeue(id int32, wi wormRef) {
+	q := n.chanQueue[id]
+	h := int(n.chanQHead[id])
+	live := q[h:]
 	for i, x := range live {
-		if x == w {
-			st.queue = append(st.queue[:st.qhead+i], live[i+1:]...)
+		if x == wi {
+			n.chanQueue[id] = append(q[:h+i], live[i+1:]...)
 			break
 		}
 	}
-	if st.qhead == len(st.queue) {
-		st.queue = st.queue[:0]
-		st.qhead = 0
+	if int(n.chanQHead[id]) == len(n.chanQueue[id]) {
+		n.chanQueue[id] = n.chanQueue[id][:0]
+		n.chanQHead[id] = 0
 	}
-	if !st.dead && st.owner == nil {
-		if head := st.front(); head != nil {
+	if n.chanOwner[id] == noWorm {
+		if head := n.chanFront(id); head != noWorm {
 			n.wake(head)
 		}
 	}

@@ -23,9 +23,11 @@ package wormsim
 // shard count.
 //
 // Workers only ever mutate state they exclusively own during the round:
-// the chanState slots of their region, and fields of worms whose whole
-// footprint (the region mask) lies in their region. Tree worms whose
-// frontier spans regions are advanced cooperatively: every involved
+// the channel-state array slots of their region, and fields of worms
+// whose whole footprint (the region mask) lies in their region. The worm
+// arena never grows during a round (injection happens between cycles), so
+// workers may hold *worm pointers into slots for the round. Tree worms
+// whose frontier spans regions are advanced cooperatively: every involved
 // worker enqueues/claims only its region's frontier channels (writing
 // disjoint l.taken slots), the lowest-region worker doubles as primary
 // and records the outcome, and the fold aggregates the claims and decides
@@ -68,11 +70,12 @@ type shardRec struct {
 	relHi   int32
 }
 
-// shardEvent is one buffered destination delivery.
+// shardEvent is one buffered destination delivery; mc indexes
+// Network.mcSlots.
 type shardEvent struct {
 	dest    topology.NodeID
 	latency int64
-	mc      *mcastState
+	mc      int32
 }
 
 // splitClaim reports frontier channels a non-primary worker claimed for a
@@ -86,7 +89,7 @@ type splitClaim struct {
 // masks are snapshotted so workers never read a mask another worker is
 // updating after a move.
 type roundEntry struct {
-	w    *worm
+	wi   wormRef
 	mask uint64
 }
 
@@ -190,11 +193,12 @@ func (n *Network) stepSharded() bool {
 
 	s := &n.shard
 	s.round = s.round[:0]
-	for _, w := range n.active {
+	for _, wi := range n.active {
+		w := &n.slots[wi]
 		if w.done {
 			continue // killed by a fault while on the active list
 		}
-		s.round = append(s.round, roundEntry{w: w, mask: w.mask})
+		s.round = append(s.round, roundEntry{wi: wi, mask: w.mask})
 	}
 	// Below one worm per worker the dispatch overhead cannot pay; the
 	// fold then advances every worm itself (recNone), which is exactly
@@ -236,10 +240,11 @@ func (n *Network) fold(dispatched bool) {
 	next := n.nextBuf[:0]
 	i := 0
 	for {
-		var w *worm
+		var wi wormRef
 		pos := -1
-		if len(n.wokenNow) > 0 && (i >= len(s.round) || n.wokenNow[0].id < s.round[i].w.id) {
-			w = n.wokenNow.pop()
+		if len(n.wokenNow) > 0 && (i >= len(s.round) || n.slots[n.wokenNow[0]].id < n.slots[s.round[i].wi].id) {
+			wi = n.wokenPop()
+			w := &n.slots[wi]
 			w.wakePending = false
 			if w.done || !w.parked {
 				// A worm woken by a fold release before its own round
@@ -250,17 +255,18 @@ func (n *Network) fold(dispatched bool) {
 			w.parked = false
 		} else if i < len(s.round) {
 			pos = i
-			w = s.round[i].w
+			wi = s.round[i].wi
 			i++
-			if w.done {
+			if n.slots[wi].done {
 				continue
 			}
 		} else {
 			break
 		}
+		w := &n.slots[wi]
 		n.scanID = w.id
 		if pos >= 0 && dispatched && s.records[pos].state != recNone {
-			n.foldRecord(pos, w, &next)
+			n.foldRecord(pos, wi, &next)
 			continue
 		}
 		// No worker record (undispatched round, or a mid-fold wake): the
@@ -268,15 +274,15 @@ func (n *Network) fold(dispatched bool) {
 		// advance applies verbatim.
 		var live bool
 		if w.kind == pathWorm {
-			live = n.advancePath(w)
+			live = n.advancePath(wi, w)
 		} else {
-			live = n.advanceTree(w)
+			live = n.advanceTree(wi, w)
 		}
 		if !live {
-			n.retire(w)
+			n.retire(wi)
 		} else if !w.parked {
 			w.mask = n.regionMask(w)
-			next = append(next, w)
+			next = append(next, wi)
 		}
 	}
 	n.inStep = false
@@ -286,9 +292,10 @@ func (n *Network) fold(dispatched bool) {
 
 // foldRecord commits one worker-produced round outcome at the worm's
 // serial scan position.
-func (n *Network) foldRecord(pos int, w *worm, next *[]*worm) {
+func (n *Network) foldRecord(pos int, wi wormRef, next *[]wormRef) {
 	s := &n.shard
 	rec := &s.records[pos]
+	w := &n.slots[wi]
 	switch rec.state {
 	case recParked:
 		// Blocked in place. A later fold release may still wake it into
@@ -300,15 +307,15 @@ func (n *Network) foldRecord(pos int, w *worm, next *[]*worm) {
 			n.emitDelivery(ev)
 		}
 		for _, id := range wk.rels[rec.relLo:rec.relHi] {
-			n.release(id, w)
+			n.release(id, wi)
 		}
 		if rec.retired {
-			n.retire(w)
+			n.retire(wi)
 		} else {
-			*next = append(*next, w)
+			*next = append(*next, wi)
 		}
 	case recKilled:
-		n.killWorm(w)
+		n.killWorm(wi)
 	case recSplit:
 		// Aggregate the frontier channels every involved worker claimed,
 		// then rerun the serial tree advance: it skips the already-queued
@@ -332,11 +339,11 @@ func (n *Network) foldRecord(pos int, w *worm, next *[]*worm) {
 		l.missing -= taken
 		l.queued = true
 		w.parked = false
-		if live := n.advanceTree(w); !live {
-			n.retire(w)
+		if live := n.advanceTree(wi, w); !live {
+			n.retire(wi)
 		} else if !w.parked {
 			w.mask = n.regionMask(w)
-			*next = append(*next, w)
+			*next = append(*next, wi)
 		}
 	}
 }
@@ -349,15 +356,16 @@ func (n *Network) emitDelivery(ev shardEvent) {
 		n.onDelivery(ev.dest, ev.latency)
 	}
 	if n.onDeliveryDetail != nil {
-		n.onDeliveryDetail(ev.dest, ev.latency, ev.mc.size)
+		n.onDeliveryDetail(ev.dest, ev.latency, n.mcSlots[ev.mc].size)
 	}
-	ev.mc.remaining--
-	if ev.mc.remaining == 0 && ev.mc.lost == 0 {
+	mc := &n.mcSlots[ev.mc]
+	mc.remaining--
+	if mc.remaining == 0 && mc.lost == 0 {
 		if n.onComplete != nil {
-			n.onComplete(n.cycle - ev.mc.spawned)
+			n.onComplete(n.cycle - mc.spawned)
 		}
 		if n.onCompleteTag != nil {
-			n.onCompleteTag(ev.mc.tag, n.cycle-ev.mc.spawned)
+			n.onCompleteTag(mc.tag, n.cycle-mc.spawned)
 		}
 	}
 }
@@ -371,23 +379,26 @@ func (wk *shardWorker) loop() {
 
 // scan is one worker's parallel round: advance every round worm whose
 // mask intersects this region — alone for single-region worms,
-// cooperatively for trees whose frontier spans regions.
+// cooperatively for trees whose frontier spans regions. Slots never grows
+// during a round, so the *worm taken per entry stays valid.
 func (wk *shardWorker) scan() {
-	round := wk.n.shard.round
+	n := wk.n
+	round := n.shard.round
 	bit := uint64(1) << uint(wk.idx)
 	for i := range round {
 		e := &round[i]
 		if e.mask&bit == 0 {
 			continue
 		}
+		w := &n.slots[e.wi]
 		if e.mask&(e.mask-1) == 0 {
-			if e.w.kind == pathWorm {
-				wk.advancePath(i, e.w)
+			if w.kind == pathWorm {
+				wk.advancePath(i, e.wi, w)
 			} else {
-				wk.advanceTree(i, e.w)
+				wk.advanceTree(i, e.wi, w)
 			}
 		} else {
-			wk.advanceSplit(i, e.w, e.mask)
+			wk.advanceSplit(i, e.wi, w, e.mask)
 		}
 	}
 }
@@ -395,24 +406,24 @@ func (wk *shardWorker) scan() {
 // advancePath is advancePath for a worker: identical state transitions on
 // region-local channels, with deliveries, releases and kills buffered for
 // the fold.
-func (wk *shardWorker) advancePath(pos int, w *worm) {
+func (wk *shardWorker) advancePath(pos int, wi wormRef, w *worm) {
 	n := wk.n
 	rec := shardRec{worker: uint8(wk.idx), evLo: int32(len(wk.events)), relLo: int32(len(wk.rels))}
 	if w.headIdx < len(w.chans) {
 		id := w.chans[w.headIdx]
-		st := &n.chans[id]
-		if st.dead {
+		owner := n.chanOwner[id]
+		if owner == deadChan {
 			rec.state = recKilled
 			n.shard.records[pos] = rec
 			return
 		}
-		if st.availableTo(w) {
-			st.take(w)
+		if owner == noWorm && n.chanFreeFor(id, wi) {
+			n.chanTake(id, wi)
 			w.headIdx++
 			w.progress++
 		} else {
 			if w.queuedAt != w.headIdx {
-				st.enqueue(w)
+				n.chanEnqueue(id, wi)
 				w.queuedAt = w.headIdx
 			}
 			w.parked = true
@@ -448,13 +459,13 @@ func (wk *shardWorker) advancePath(pos int, w *worm) {
 
 // advanceTree is advanceTree for a worker whose region covers the whole
 // frontier.
-func (wk *shardWorker) advanceTree(pos int, w *worm) {
+func (wk *shardWorker) advanceTree(pos int, wi wormRef, w *worm) {
 	n := wk.n
 	rec := shardRec{worker: uint8(wk.idx), evLo: int32(len(wk.events)), relLo: int32(len(wk.rels))}
 	if w.headIdx < len(w.levels) {
 		l := &w.levels[w.headIdx]
 		for _, id := range l.channels {
-			if n.chans[id].dead {
+			if n.chanOwner[id] == deadChan {
 				rec.state = recKilled
 				n.shard.records[pos] = rec
 				return
@@ -462,7 +473,7 @@ func (wk *shardWorker) advanceTree(pos int, w *worm) {
 		}
 		if !l.queued {
 			for _, id := range l.channels {
-				n.chans[id].enqueue(w)
+				n.chanEnqueue(id, wi)
 			}
 			l.queued = true
 		}
@@ -470,8 +481,8 @@ func (wk *shardWorker) advanceTree(pos int, w *worm) {
 			if l.taken[i] {
 				continue
 			}
-			if st := &n.chans[id]; st.availableToQueued(w) {
-				st.take(w)
+			if n.chanAvailableToQueued(id, wi) {
+				n.chanTake(id, wi)
 				l.taken[i] = true
 				l.missing--
 			}
@@ -517,14 +528,17 @@ func (wk *shardWorker) advanceTree(pos int, w *worm) {
 // frontier order, matching the serial engine's per-channel op order). The
 // primary (lowest-region) worker records the outcome; others report their
 // claims through a side list the fold aggregates. Writes are disjoint by
-// construction: each worker touches only its region's chanState slots and
-// its region's l.taken elements, and only the primary writes w.parked.
-func (wk *shardWorker) advanceSplit(pos int, w *worm, mask uint64) {
+// construction: each worker touches only its region's channel-state
+// slots and its region's l.taken elements, and only the primary writes
+// w.parked.
+func (wk *shardWorker) advanceSplit(pos int, wi wormRef, w *worm, mask uint64) {
 	n := wk.n
 	primary := bits.TrailingZeros64(mask) == wk.idx
 	l := &w.levels[w.headIdx]
 	for _, id := range l.channels {
-		if n.chans[id].dead {
+		// chanDead, not the owner word: frontier channels of other regions
+		// have owners being written by their workers right now.
+		if n.chanDead[id] {
 			// Unanimous verdict: dead flags are stable within a cycle, so
 			// every involved worker returns here without touching state.
 			if primary {
@@ -538,12 +552,11 @@ func (wk *shardWorker) advanceSplit(pos int, w *worm, mask uint64) {
 		if n.region(id) != wk.idx || l.taken[i] {
 			continue
 		}
-		st := &n.chans[id]
 		if !l.queued {
-			st.enqueue(w)
+			n.chanEnqueue(id, wi)
 		}
-		if st.availableToQueued(w) {
-			st.take(w)
+		if n.chanAvailableToQueued(id, wi) {
+			n.chanTake(id, wi)
 			l.taken[i] = true
 			claims++
 		}

@@ -27,18 +27,34 @@
 //
 // # Performance architecture
 //
-// The simulator is indexed and event-driven (see DESIGN.md, "Simulator
-// performance architecture"):
+// The simulator is indexed, event-driven and data-oriented (see
+// DESIGN.md, "Simulator data layout"):
 //
 //   - Channels are interned to dense int32 ids at injection time, so the
-//     per-cycle inner loop indexes a flat []chanState slice instead of
+//     per-cycle inner loop indexes flat parallel arrays instead of
 //     hashing dfr.Channel map keys.
+//   - Worms live in a slot arena (Network.slots) and are referenced by
+//     dense int32 indices (wormRef) everywhere — the in-flight list, the
+//     active list, wake queues, channel owner and FIFO state, shard round
+//     entries. The scheduling hot loop therefore moves int32s, not
+//     pointers: no GC write barriers on queue/list writes, 2-8x denser
+//     queues, and nothing extra for the collector to trace.
+//   - Per-channel state is struct-of-arrays: chanOwner / chanQHead /
+//     chanQueue are parallel flat slices indexed by channel id. The
+//     dead-channel flag is folded into the owner word (deadChan
+//     sentinel), so the uncontended availability check is one int32 load.
 //   - Blocked worms are parked: they leave the active list and are woken
 //     only when a channel they wait on is released to them (FIFO heads
 //     only), instead of being re-polled every cycle. Wakeups are merged
 //     into the active scan in ascending worm-id order, which keeps the
 //     cycle-level semantics bit-identical to the original every-worm scan
 //     (worms were always processed in injection order).
+//   - The cold audits reuse epoch-stamped scratch (DetectDeadlock,
+//     CheckInvariants, FailWhere), so periodic checks neither allocate
+//     nor distort profiles.
+//
+// Observer callbacks (OnDelivery, OnComplete, OnLost, ...) are
+// notifications: they must not inject traffic or step the network.
 package wormsim
 
 import (
@@ -50,11 +66,27 @@ import (
 )
 
 // wormKind distinguishes path worms from lock-step tree worms.
-type wormKind int
+type wormKind uint8
 
 const (
 	pathWorm wormKind = iota
 	treeWorm
+)
+
+// wormRef is a dense index into the worm arena (Network.slots). Slots are
+// recycled (arena.go), so a wormRef identifies a worm only while that
+// worm is live or within the two-cycle retirement grace period; the
+// stable diagnostic identity is worm.id.
+type wormRef = int32
+
+const (
+	// noWorm is the empty reference: no owner, no waiter.
+	noWorm wormRef = -1
+	// deadChan is the channel-owner sentinel for failed hardware. Folding
+	// the dead flag into the owner word keeps the hot-path availability
+	// check a single int32 compare — a dead channel is never noWorm, so
+	// it can never be granted.
+	deadChan wormRef = -2
 )
 
 // delivery marks a destination and where its router sits: the channel
@@ -76,8 +108,10 @@ type treeLevel struct {
 	queued   bool
 }
 
-// worm is one in-flight wormhole message. The id is stable across the
-// worm's lifetime and identifies it in deadlock reports.
+// worm is one in-flight wormhole message, stored by value in the slot
+// arena. The id is stable across the worm's lifetime and identifies it in
+// deadlock reports; the slot index (wormRef) is the reference every other
+// structure uses.
 type worm struct {
 	kind wormKind
 	id   int
@@ -109,11 +143,12 @@ type worm struct {
 	// (see shard.go) and recomputed whenever the head moves.
 	mask uint64
 
-	mcast *mcastState
+	mcast int32 // multicast record index (Network.mcSlots), -1 when unset
 }
 
 // mcastState tracks one multicast (possibly several worms) for
-// whole-multicast latency.
+// whole-multicast latency. Records live in Network.mcSlots and are
+// referenced by index.
 type mcastState struct {
 	spawned   int64
 	size      int    // destination count of the whole multicast
@@ -123,60 +158,6 @@ type mcastState struct {
 	tag       uint64 // caller-chosen id reported by OnCompleteTag
 }
 
-// chanState is the occupancy and FIFO wait queue of one channel. The
-// queue is head-indexed: dequeuing advances qhead instead of reslicing,
-// so the backing array's capacity is kept and steady-state wait episodes
-// allocate nothing (the array resets in place whenever the queue drains).
-type chanState struct {
-	owner *worm
-	queue []*worm
-	qhead int
-	dead  bool // failed hardware: never grantable again
-}
-
-// enqueue appends w; callers guarantee at-most-once per wait episode via
-// the worm-side queued markers, keeping stalls O(1) per cycle.
-func (c *chanState) enqueue(w *worm) {
-	c.queue = append(c.queue, w)
-}
-
-// waiters is the live FIFO content, front first.
-func (c *chanState) waiters() []*worm {
-	return c.queue[c.qhead:]
-}
-
-// front returns the first waiter, or nil.
-func (c *chanState) front() *worm {
-	if c.qhead < len(c.queue) {
-		return c.queue[c.qhead]
-	}
-	return nil
-}
-
-// availableTo reports whether w may take the channel now: alive, free,
-// and w is first in line (or the queue is empty because w never had to
-// wait).
-func (c *chanState) availableTo(w *worm) bool {
-	return !c.dead && c.owner == nil && (c.qhead == len(c.queue) || c.queue[c.qhead] == w)
-}
-
-// availableToQueued is availableTo for a worm known to be enqueued.
-func (c *chanState) availableToQueued(w *worm) bool {
-	return !c.dead && c.owner == nil && c.qhead < len(c.queue) && c.queue[c.qhead] == w
-}
-
-func (c *chanState) take(w *worm) {
-	if c.qhead < len(c.queue) && c.queue[c.qhead] == w {
-		c.queue[c.qhead] = nil
-		c.qhead++
-		if c.qhead == len(c.queue) {
-			c.queue = c.queue[:0]
-			c.qhead = 0
-		}
-	}
-	c.owner = w
-}
-
 // Network is the simulated wormhole network.
 type Network struct {
 	topo topology.Topology
@@ -184,10 +165,29 @@ type Network struct {
 	// Channel interning: dfr.Channel keys are resolved to dense ids once
 	// at injection time; every per-cycle access is a slice index.
 	chanIDs map[dfr.Channel]int32
-	chans   []chanState
 
-	worms    []*worm // all in-flight worms, ascending id, lazily compacted
-	inFlight int     // live entries in worms
+	// Channel state, struct-of-arrays: parallel flat slices indexed by
+	// the interned channel id. chanOwner is the only array the
+	// uncontended advance touches; the FIFO arrays join in only under
+	// contention. Queues are head-indexed: dequeuing advances the cursor
+	// instead of reslicing, so the backing arrays keep their capacity and
+	// steady-state wait episodes allocate nothing.
+	chanOwner []wormRef   // owning worm, noWorm, or deadChan
+	chanQHead []int32     // FIFO cursor into chanQueue[id]
+	chanQueue [][]wormRef // per-channel FIFO backing, front at chanQHead
+	// chanDead mirrors the deadChan sentinel: it changes only between
+	// cycles (FailWhere, intern), so sharded workers may read it for
+	// channels outside their region — chanOwner words of foreign regions
+	// are being written concurrently during a round.
+	chanDead []bool
+
+	// Worm arena: every worm lives in slots and is referenced by index.
+	// Pointers into slots are taken locally only and never held across an
+	// allocWorm call (appends may move the backing array).
+	slots []worm
+
+	worms    []wormRef // in-flight worms, ascending id, lazily compacted
+	inFlight int       // live entries in worms
 	nextID   int
 	cycle    int64
 	progress bool // did any worm advance this cycle
@@ -197,10 +197,10 @@ type Network struct {
 	// wokenNow when the target's id is still ahead of the scan position
 	// (it moves this cycle, as it would under the full scan) or in
 	// wokenNext otherwise (it moves next cycle).
-	active    []*worm
-	nextBuf   []*worm
+	active    []wormRef
+	nextBuf   []wormRef
 	wokenNow  wormHeap
-	wokenNext []*worm
+	wokenNext []wormRef
 	scanID    int  // id of the worm being processed by Step
 	inStep    bool // routes wakes between wokenNow and wokenNext
 
@@ -209,19 +209,30 @@ type Network struct {
 	deadPreds []func(dfr.Channel) bool
 	killed    int
 
+	// FailWhere victim dedup: epoch stamps over worm slots replace the
+	// per-activation map (faults.go).
+	victimStamp []int64
+	victimEpoch int64
+	victimBuf   []wormRef
+
 	// Sharded parallel stepping (shard.go); the zero value is the serial
 	// engine.
 	shard shardState
 
-	// Worm arena (arena.go): retired worms and multicast records are
-	// recycled; the epoch-stamped node scratch replaces per-injection
+	// Worm arena freelist (arena.go): retired slots and multicast records
+	// are recycled; the epoch-stamped node scratch replaces per-injection
 	// position/depth maps.
-	free         []*worm
+	free         []wormRef
 	freeHead     int
-	mcFree       []*mcastState
+	mcSlots      []mcastState
+	mcFree       []int32
 	scratchStamp []int64
 	scratchVal   []int32
 	scratchEpoch int64
+
+	// Reusable audit scratch (allocation-free steady state).
+	dd ddScratch // DetectDeadlock
+	ck ckScratch // CheckInvariants (check.go)
 
 	// Observers.
 	onDelivery       func(dest topology.NodeID, latencyCycles int64)
@@ -273,7 +284,7 @@ func (n *Network) FastForward(target int64) {
 // congestion at injection time.
 func (n *Network) Busy(c dfr.Channel) bool {
 	id, ok := n.chanIDs[c]
-	return ok && n.chans[id].owner != nil
+	return ok && n.chanOwner[id] >= 0
 }
 
 // OnDelivery registers a callback invoked for every destination delivery
@@ -301,7 +312,7 @@ func (n *Network) OnComplete(fn func(latencyCycles int64)) { n.onComplete = fn }
 func (n *Network) OnCompleteTag(fn func(tag uint64, latencyCycles int64)) { n.onCompleteTag = fn }
 
 // intern resolves a channel key to its dense id, creating (and
-// validating) the state slot on first use. Validation therefore happens
+// validating) the state slots on first use. Validation therefore happens
 // once per distinct channel rather than once per injection.
 func (n *Network) intern(c dfr.Channel) int32 {
 	if id, ok := n.chanIDs[c]; ok {
@@ -310,27 +321,95 @@ func (n *Network) intern(c dfr.Channel) int32 {
 	if !n.topo.Adjacent(c.From, c.To) {
 		panic(fmt.Sprintf("wormsim: route uses non-channel %v", c))
 	}
-	id := int32(len(n.chans))
+	id := int32(len(n.chanOwner))
 	n.chanIDs[c] = id
-	st := chanState{}
+	owner := noWorm
 	for _, pred := range n.deadPreds {
 		if pred(c) {
-			st.dead = true
+			owner = deadChan
 			break
 		}
 	}
-	n.chans = append(n.chans, st)
+	n.chanOwner = append(n.chanOwner, owner)
+	n.chanQHead = append(n.chanQHead, 0)
+	n.chanQueue = append(n.chanQueue, nil)
+	n.chanDead = append(n.chanDead, owner == deadChan)
 	return id
+}
+
+// chanEnqueue appends wi to channel id's FIFO; callers guarantee
+// at-most-once per wait episode via the worm-side queued markers, keeping
+// stalls O(1) per cycle.
+func (n *Network) chanEnqueue(id int32, wi wormRef) {
+	n.chanQueue[id] = append(n.chanQueue[id], wi)
+}
+
+// chanWaiters is the live FIFO content of channel id, front first.
+func (n *Network) chanWaiters(id int32) []wormRef {
+	return n.chanQueue[id][n.chanQHead[id]:]
+}
+
+// chanFront returns the first waiter of channel id, or noWorm.
+func (n *Network) chanFront(id int32) wormRef {
+	q := n.chanQueue[id]
+	if h := n.chanQHead[id]; int(h) < len(q) {
+		return q[h]
+	}
+	return noWorm
+}
+
+// chanFreeFor reports whether wi is first in line for channel id (or the
+// queue is empty because wi never had to wait). The caller has already
+// established the channel is unowned and alive (chanOwner == noWorm).
+func (n *Network) chanFreeFor(id int32, wi wormRef) bool {
+	q := n.chanQueue[id]
+	h := n.chanQHead[id]
+	return int(h) == len(q) || q[h] == wi
+}
+
+// chanAvailableTo reports whether wi may take channel id now: alive,
+// free, and wi is first in line.
+func (n *Network) chanAvailableTo(id int32, wi wormRef) bool {
+	return n.chanOwner[id] == noWorm && n.chanFreeFor(id, wi)
+}
+
+// chanAvailableToQueued is chanAvailableTo for a worm known to be
+// enqueued.
+func (n *Network) chanAvailableToQueued(id int32, wi wormRef) bool {
+	if n.chanOwner[id] != noWorm {
+		return false
+	}
+	q := n.chanQueue[id]
+	h := n.chanQHead[id]
+	return int(h) < len(q) && q[h] == wi
+}
+
+// chanTake grants channel id to wi, popping it from the FIFO head if it
+// was queued. The queue resets in place whenever it drains, keeping the
+// backing array's capacity.
+func (n *Network) chanTake(id int32, wi wormRef) {
+	q := n.chanQueue[id]
+	h := n.chanQHead[id]
+	if int(h) < len(q) && q[h] == wi {
+		h++
+		if int(h) == len(q) {
+			n.chanQueue[id] = q[:0]
+			h = 0
+		}
+		n.chanQHead[id] = h
+	}
+	n.chanOwner[id] = wi
 }
 
 // addWorm registers a freshly injected worm: it joins both the in-flight
 // list and the active list (ids are strictly increasing, so appends keep
 // both sorted).
-func (n *Network) addWorm(w *worm) {
-	n.worms = append(n.worms, w)
+func (n *Network) addWorm(wi wormRef) {
+	n.worms = append(n.worms, wi)
 	n.inFlight++
-	n.active = append(n.active, w)
-	w.mcast.worms++
+	n.active = append(n.active, wi)
+	w := &n.slots[wi]
+	n.mcSlots[w.mcast].worms++
 	if n.shard.n > 1 {
 		w.mask = n.regionMask(w)
 	}
@@ -343,7 +422,8 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 	if lengthFlits < 1 {
 		panic("wormsim: message must have at least one flit")
 	}
-	mc := n.allocMcast()
+	mci := n.allocMcast()
+	mc := &n.mcSlots[mci]
 	mc.spawned = n.cycle
 	for _, p := range paths {
 		mc.size += len(p.Dests)
@@ -358,14 +438,15 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 			// forbids.
 			continue
 		}
-		w := n.allocWorm()
+		wi := n.allocWorm()
+		w := &n.slots[wi]
 		w.kind = pathWorm
 		w.id = n.nextID
 		n.nextID++
 		w.length = lengthFlits
 		w.spawned = n.cycle
 		w.queuedAt = -1
-		w.mcast = mc
+		w.mcast = mci
 		for i := 1; i < len(p.Nodes); i++ {
 			w.chans = append(w.chans, n.intern(dfr.Channel{From: p.Nodes[i-1], To: p.Nodes[i], Class: p.HopClass(i - 1)}))
 		}
@@ -383,13 +464,13 @@ func (n *Network) InjectMulticast(paths []dfr.PathRoute, trees []dfr.TreeRoute, 
 			w.undeliv++
 			mc.remaining++
 		}
-		n.addWorm(w)
+		n.addWorm(wi)
 	}
 	for _, t := range trees {
 		if len(t.Edges) == 0 {
 			continue
 		}
-		n.addWorm(n.buildTreeWorm(t, lengthFlits, mc))
+		n.addWorm(n.buildTreeWorm(t, lengthFlits, mci))
 	}
 }
 
@@ -407,19 +488,21 @@ func (n *Network) InjectFlatTag(fp *routing.FlatPlan, lengthFlits int, tag uint6
 	if lengthFlits < 1 {
 		panic("wormsim: message must have at least one flit")
 	}
-	mc := n.allocMcast()
+	mci := n.allocMcast()
+	mc := &n.mcSlots[mci]
 	mc.spawned = n.cycle
 	mc.size = int(fp.TotalDests)
 	mc.tag = tag
 	for p := 0; p < fp.Paths(); p++ {
-		w := n.allocWorm()
+		wi := n.allocWorm()
+		w := &n.slots[wi]
 		w.kind = pathWorm
 		w.id = n.nextID
 		n.nextID++
 		w.length = lengthFlits
 		w.spawned = n.cycle
 		w.queuedAt = -1
-		w.mcast = mc
+		w.mcast = mci
 		lo, hi := fp.PathOff[p], fp.PathOff[p+1]
 		clo := lo - int32(p)
 		for i := lo + 1; i < hi; i++ {
@@ -438,17 +521,18 @@ func (n *Network) InjectFlatTag(fp *routing.FlatPlan, lengthFlits int, tag uint6
 			w.undeliv++
 			mc.remaining++
 		}
-		n.addWorm(w)
+		n.addWorm(wi)
 	}
 	for t := 0; t < fp.Trees(); t++ {
-		w := n.allocWorm()
+		wi := n.allocWorm()
+		w := &n.slots[wi]
 		w.kind = treeWorm
 		w.id = n.nextID
 		n.nextID++
 		w.length = lengthFlits
 		w.spawned = n.cycle
 		w.queuedAt = -1
-		w.mcast = mc
+		w.mcast = mci
 		llo, lhi := fp.TreeOff[t], fp.TreeOff[t+1]
 		w.levels = growLevels(w.levels, int(lhi-llo))
 		for l := llo; l < lhi; l++ {
@@ -475,7 +559,7 @@ func (n *Network) InjectFlatTag(fp *routing.FlatPlan, lengthFlits int, tag uint6
 			w.undeliv++
 			mc.remaining++
 		}
-		n.addWorm(w)
+		n.addWorm(wi)
 	}
 }
 
@@ -483,7 +567,7 @@ func (n *Network) InjectFlatTag(fp *routing.FlatPlan, lengthFlits int, tag uint6
 // frontier levels. Node depths come from the epoch scratch (edges are
 // parent-before-child, so one pass resolves them) and the worm's level
 // and channel arrays are arena-recycled.
-func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mc *mcastState) *worm {
+func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mci int32) wormRef {
 	n.beginScratch()
 	n.nodeMark(int(t.Root), 0)
 	maxd := 0
@@ -494,14 +578,15 @@ func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mc *mcastState
 			maxd = int(d)
 		}
 	}
-	w := n.allocWorm()
+	wi := n.allocWorm()
+	w := &n.slots[wi]
 	w.kind = treeWorm
 	w.id = n.nextID
 	n.nextID++
 	w.length = lengthFlits
 	w.spawned = n.cycle
 	w.queuedAt = -1
-	w.mcast = mc
+	w.mcast = mci
 	w.levels = growLevels(w.levels, maxd)
 	for _, e := range t.Edges {
 		l := &w.levels[n.nodeVal(int(e.To))-1]
@@ -521,37 +606,39 @@ func (n *Network) buildTreeWorm(t dfr.TreeRoute, lengthFlits int, mc *mcastState
 		}
 		w.deliveries = append(w.deliveries, delivery{dest: d, idx: int(dep)})
 		w.undeliv++
-		mc.remaining++
+		n.mcSlots[mci].remaining++
 	}
-	return w
+	return wi
 }
 
-// release frees channel id held by w and wakes the FIFO head waiting on
+// release frees channel id held by wi and wakes the FIFO head waiting on
 // it, if any. Availability only ever arises at release time (a take sets
 // an owner), so waking queue heads here is the complete wake condition.
-func (n *Network) release(id int32, w *worm) {
-	st := &n.chans[id]
-	if st.owner != w {
+// Dead channels are never released: their owner word is deadChan, which
+// never matches wi.
+func (n *Network) release(id int32, wi wormRef) {
+	if n.chanOwner[id] != wi {
 		return
 	}
-	st.owner = nil
-	if w := st.front(); w != nil {
-		n.wake(w)
+	n.chanOwner[id] = noWorm
+	if f := n.chanFront(id); f != noWorm {
+		n.wake(f)
 	}
 }
 
 // wake schedules a parked worm to be processed again. If its id is still
 // ahead of the current scan position it runs this very cycle — exactly
 // when the full scan would have polled it — otherwise next cycle.
-func (n *Network) wake(w *worm) {
+func (n *Network) wake(wi wormRef) {
+	w := &n.slots[wi]
 	if w.done || !w.parked || w.wakePending {
 		return
 	}
 	w.wakePending = true
 	if n.inStep && w.id > n.scanID {
-		n.wokenNow.push(w)
+		n.wokenPush(wi)
 	} else {
-		n.wokenNext = append(n.wokenNext, w)
+		n.wokenNext = append(n.wokenNext, wi)
 	}
 }
 
@@ -573,31 +660,33 @@ func (n *Network) Step() bool {
 	next := n.nextBuf[:0]
 	i := 0
 	for {
-		var w *worm
-		if len(n.wokenNow) > 0 && (i >= len(n.active) || n.wokenNow[0].id < n.active[i].id) {
-			w = n.wokenNow.pop()
+		var wi wormRef
+		if len(n.wokenNow) > 0 && (i >= len(n.active) || n.slots[n.wokenNow[0]].id < n.slots[n.active[i]].id) {
+			wi = n.wokenPop()
+			w := &n.slots[wi]
 			w.wakePending = false
 			w.parked = false
 		} else if i < len(n.active) {
-			w = n.active[i]
+			wi = n.active[i]
 			i++
 		} else {
 			break
 		}
+		w := &n.slots[wi]
 		if w.done {
 			continue // killed by a fault while on the active list
 		}
 		n.scanID = w.id
 		var live bool
 		if w.kind == pathWorm {
-			live = n.advancePath(w)
+			live = n.advancePath(wi, w)
 		} else {
-			live = n.advanceTree(w)
+			live = n.advanceTree(wi, w)
 		}
 		if !live {
-			n.retire(w)
+			n.retire(wi)
 		} else if !w.parked {
-			next = append(next, w)
+			next = append(next, wi)
 		}
 	}
 	n.inStep = false
@@ -613,27 +702,29 @@ func (n *Network) mergeWokenNext() {
 	if len(n.wokenNext) == 0 {
 		return
 	}
-	sortWormsByID(n.wokenNext)
+	n.sortRefsByID(n.wokenNext)
 	merged := n.nextBuf[:0]
 	i, j := 0, 0
 	for i < len(n.active) && j < len(n.wokenNext) {
-		if n.active[i].id < n.wokenNext[j].id {
+		if n.slots[n.active[i]].id < n.slots[n.wokenNext[j]].id {
 			merged = append(merged, n.active[i])
 			i++
 		} else {
-			w := n.wokenNext[j]
+			wi := n.wokenNext[j]
+			w := &n.slots[wi]
 			w.wakePending = false
 			w.parked = false
-			merged = append(merged, w)
+			merged = append(merged, wi)
 			j++
 		}
 	}
 	merged = append(merged, n.active[i:]...)
 	for ; j < len(n.wokenNext); j++ {
-		w := n.wokenNext[j]
+		wi := n.wokenNext[j]
+		w := &n.slots[wi]
 		w.wakePending = false
 		w.parked = false
-		merged = append(merged, w)
+		merged = append(merged, wi)
 	}
 	n.nextBuf = n.active[:0]
 	n.active = merged
@@ -643,7 +734,8 @@ func (n *Network) mergeWokenNext() {
 // retire removes a drained worm from the in-flight accounting; the worms
 // list is compacted lazily once half of it is dead. Idempotent: a worm
 // killed by a fault mid-advance is already retired when Step sees it.
-func (n *Network) retire(w *worm) {
+func (n *Network) retire(wi wormRef) {
+	w := &n.slots[wi]
 	if w.done {
 		return
 	}
@@ -653,40 +745,37 @@ func (n *Network) retire(w *worm) {
 	if dead := len(n.worms) - n.inFlight; dead > 32 && dead > n.inFlight {
 		live := n.worms[:0]
 		for _, v := range n.worms {
-			if !v.done {
+			if !n.slots[v].done {
 				live = append(live, v)
 			} else {
 				n.recycleWorm(v)
 			}
-		}
-		for i := len(live); i < len(n.worms); i++ {
-			n.worms[i] = nil
 		}
 		n.worms = live
 	}
 }
 
 // advancePath moves a path worm one cycle; false retires it.
-func (n *Network) advancePath(w *worm) bool {
+func (n *Network) advancePath(wi wormRef, w *worm) bool {
 	moved := false
 	if w.headIdx < len(w.chans) {
 		id := w.chans[w.headIdx]
-		st := &n.chans[id]
-		if st.dead {
+		owner := n.chanOwner[id]
+		if owner == deadChan {
 			// The header reached failed hardware: the message is dropped
 			// and its in-flight flits are flushed (Section 2.3.4 flow
 			// control has no way to back up past an acquired channel).
-			n.killWorm(w)
+			n.killWorm(wi)
 			return false
 		}
-		if st.availableTo(w) {
-			st.take(w)
+		if owner == noWorm && n.chanFreeFor(id, wi) {
+			n.chanTake(id, wi)
 			w.headIdx++
 			w.progress++
 			moved = true
 		} else {
 			if w.queuedAt != w.headIdx {
-				st.enqueue(w)
+				n.chanEnqueue(id, wi)
 				w.queuedAt = w.headIdx
 			}
 			w.parked = true
@@ -708,7 +797,7 @@ func (n *Network) advancePath(w *worm) bool {
 		}
 		// Releases: the tail crosses channel index i at progress i + length.
 		for w.released < len(w.chans) && w.progress >= w.released+w.length {
-			n.release(w.chans[w.released], w)
+			n.release(w.chans[w.released], wi)
 			w.released++
 		}
 	}
@@ -722,21 +811,21 @@ func (n *Network) advancePath(w *worm) bool {
 // w.progress counts crossed levels plus drain cycles, exactly like a path
 // worm's channel count, so delivery and release timing share the path
 // formulas with depth in place of path position.
-func (n *Network) advanceTree(w *worm) bool {
+func (n *Network) advanceTree(wi wormRef, w *worm) bool {
 	moved := false
 	if w.headIdx < len(w.levels) {
 		l := &w.levels[w.headIdx]
 		for _, id := range l.channels {
-			if n.chans[id].dead {
+			if n.chanOwner[id] == deadChan {
 				// Lock-step trees need the whole frontier; one dead
 				// branch channel drops the whole message.
-				n.killWorm(w)
+				n.killWorm(wi)
 				return false
 			}
 		}
 		if !l.queued {
 			for _, id := range l.channels {
-				n.chans[id].enqueue(w)
+				n.chanEnqueue(id, wi)
 			}
 			l.queued = true
 		}
@@ -744,8 +833,8 @@ func (n *Network) advanceTree(w *worm) bool {
 			if l.taken[i] {
 				continue
 			}
-			if st := &n.chans[id]; st.availableToQueued(w) {
-				st.take(w)
+			if n.chanAvailableToQueued(id, wi) {
+				n.chanTake(id, wi)
 				l.taken[i] = true
 				l.missing--
 			}
@@ -772,7 +861,7 @@ func (n *Network) advanceTree(w *worm) bool {
 		}
 		for w.released < len(w.levels) && w.progress >= w.released+w.length {
 			for _, id := range w.levels[w.released].channels {
-				n.release(id, w)
+				n.release(id, wi)
 			}
 			w.released++
 		}
@@ -784,37 +873,55 @@ func (n *Network) advanceTree(w *worm) bool {
 func (n *Network) deliver(w *worm, d *delivery) {
 	d.done = true
 	w.undeliv--
+	mci := w.mcast
+	lat := n.cycle - w.spawned
 	if n.onDelivery != nil {
-		n.onDelivery(d.dest, n.cycle-w.spawned)
+		n.onDelivery(d.dest, lat)
 	}
 	if n.onDeliveryDetail != nil {
-		n.onDeliveryDetail(d.dest, n.cycle-w.spawned, w.mcast.size)
+		n.onDeliveryDetail(d.dest, lat, n.mcSlots[mci].size)
 	}
-	w.mcast.remaining--
+	mc := &n.mcSlots[mci]
+	mc.remaining--
 	// A multicast that lost any destination to a fault never completes;
 	// completion latency is only defined for fully delivered multicasts.
-	if w.mcast.remaining == 0 && w.mcast.lost == 0 {
+	if mc.remaining == 0 && mc.lost == 0 {
 		if n.onComplete != nil {
-			n.onComplete(n.cycle - w.mcast.spawned)
+			n.onComplete(n.cycle - mc.spawned)
 		}
 		if n.onCompleteTag != nil {
-			n.onCompleteTag(w.mcast.tag, n.cycle-w.mcast.spawned)
+			n.onCompleteTag(mc.tag, n.cycle-mc.spawned)
 		}
 	}
 }
 
 // DeadlockedWormIDs returns the ids of the worms on one wait-for cycle,
-// or nil; a diagnostic wrapper around DetectDeadlock.
+// or nil; a diagnostic alias of DetectDeadlock.
 func (n *Network) DeadlockedWormIDs() []int {
-	cyc := n.DetectDeadlock()
-	if cyc == nil {
-		return nil
-	}
-	ids := make([]int, len(cyc))
-	for i, w := range cyc {
-		ids[i] = w.id
-	}
-	return ids
+	return n.DetectDeadlock()
+}
+
+// ddScratch is DetectDeadlock's reusable state: the periodic deadlock
+// audit (every 64 cycles under Run) used to allocate maps and adjacency
+// slices on every call — roughly a third of the serial hot-loop profile —
+// and now reuses epoch-stamped slot-indexed scratch instead.
+type ddScratch struct {
+	live   []wormRef
+	pos    []int32 // slot -> index into live, valid when stamp == epoch
+	stamp  []int64
+	epoch  int64
+	adj    [][]int32 // wait-for edges, indexed by live position
+	color  []uint8
+	parent []int32
+	stack  []ddFrame
+}
+
+// ddFrame is one explicit DFS frame: the iterative traversal keeps very
+// large in-flight worm populations from overflowing the goroutine stack
+// (the recursion depth equals the wait-for chain length).
+type ddFrame struct {
+	u    int32
+	next int32 // index into adj[u] of the next edge to explore
 }
 
 // DetectDeadlock searches the wait-for graph for a cycle: worm A waits
@@ -822,38 +929,37 @@ func (n *Network) DeadlockedWormIDs() []int {
 // ahead of A on it. Because a blocked worm holds every channel it has
 // acquired until its header advances (wormhole flow control,
 // Section 2.3.4), a wait-for cycle is a permanent deadlock. It returns
-// the worms on one such cycle, or nil.
-func (n *Network) DetectDeadlock() []*worm {
-	live := make([]*worm, 0, n.inFlight)
-	index := make(map[*worm]int, n.inFlight)
-	for _, w := range n.worms {
-		if !w.done {
-			index[w] = len(live)
-			live = append(live, w)
+// the ids of the worms on one such cycle, or nil. Steady-state calls
+// allocate nothing (a found cycle — which ends the run — is the only
+// allocation).
+func (n *Network) DetectDeadlock() []int {
+	dd := &n.dd
+	dd.epoch++
+	if len(dd.stamp) < len(n.slots) {
+		dd.stamp = append(dd.stamp, make([]int64, len(n.slots)-len(dd.stamp))...)
+		dd.pos = append(dd.pos, make([]int32, len(n.slots)-len(dd.pos))...)
+	}
+	live := dd.live[:0]
+	for _, wi := range n.worms {
+		if !n.slots[wi].done {
+			dd.stamp[wi] = dd.epoch
+			dd.pos[wi] = int32(len(live))
+			live = append(live, wi)
 		}
 	}
-	adj := make([][]int, len(live))
-	addWait := func(from *worm, id int32) {
-		st := &n.chans[id]
-		i := index[from]
-		if st.owner != nil && st.owner != from {
-			if j, ok := index[st.owner]; ok {
-				adj[i] = append(adj[i], j)
-			}
-		}
-		for _, q := range st.waiters() {
-			if q == from {
-				break
-			}
-			if j, ok := index[q]; ok {
-				adj[i] = append(adj[i], j)
-			}
-		}
+	dd.live = live
+	for len(dd.adj) < len(live) {
+		dd.adj = append(dd.adj, nil)
 	}
-	for _, w := range live {
+	adj := dd.adj[:len(live)]
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
+	for i, wi := range live {
+		w := &n.slots[wi]
 		if w.kind == pathWorm {
 			if w.headIdx < len(w.chans) {
-				addWait(w, w.chans[w.headIdx])
+				n.ddAddWait(adj, int32(i), wi, w.chans[w.headIdx])
 			}
 			continue
 		}
@@ -861,50 +967,49 @@ func (n *Network) DetectDeadlock() []*worm {
 			continue // draining; never blocks
 		}
 		l := &w.levels[w.headIdx]
-		for i, id := range l.channels {
-			if !l.taken[i] {
-				addWait(w, id)
+		for ci, id := range l.channels {
+			if !l.taken[ci] {
+				n.ddAddWait(adj, int32(i), wi, id)
 			}
 		}
 	}
-	// Iterative DFS cycle detection: the explicit frame stack keeps very
-	// large in-flight worm populations from overflowing the goroutine
-	// stack (the recursion depth equals the wait-for chain length).
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make([]int, len(live))
-	parent := make([]int, len(live))
-	for i := range parent {
+	if cap(dd.color) < len(live) {
+		dd.color = make([]uint8, len(live))
+		dd.parent = make([]int32, len(live))
+	}
+	color := dd.color[:len(live)]
+	parent := dd.parent[:len(live)]
+	for i := range color {
+		color[i] = white
 		parent[i] = -1
 	}
-	type frame struct {
-		u    int
-		next int // index into adj[u] of the next edge to explore
-	}
-	var stack []frame
+	stack := dd.stack[:0]
+	defer func() { dd.stack = stack[:0] }()
 	for start := range live {
 		if color[start] != white {
 			continue
 		}
 		color[start] = gray
-		stack = append(stack[:0], frame{u: start})
+		stack = append(stack[:0], ddFrame{u: int32(start)})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.next < len(adj[f.u]) {
+			if int(f.next) < len(adj[f.u]) {
 				v := adj[f.u][f.next]
 				f.next++
 				switch color[v] {
 				case white:
 					parent[v] = f.u
 					color[v] = gray
-					stack = append(stack, frame{u: v})
+					stack = append(stack, ddFrame{u: v})
 				case gray:
-					cycle := []*worm{live[v]}
+					cycle := []int{n.slots[live[v]].id}
 					for x := f.u; x != v; x = parent[x] {
-						cycle = append(cycle, live[x])
+						cycle = append(cycle, n.slots[live[x]].id)
 					}
 					return cycle
 				}
@@ -917,44 +1022,65 @@ func (n *Network) DetectDeadlock() []*worm {
 	return nil
 }
 
-// wormHeap is a binary min-heap of worms keyed by id, used to merge
-// same-cycle wakeups into the ascending-id active scan.
-type wormHeap []*worm
-
-func (h *wormHeap) push(w *worm) {
-	*h = append(*h, w)
-	s := *h
-	for i := len(s) - 1; i > 0; {
-		p := (i - 1) / 2
-		if s[p].id <= s[i].id {
+// ddAddWait records the worms the worm at live position i (slot wi) waits
+// for on channel id: the current owner, and every waiter queued ahead of
+// it.
+func (n *Network) ddAddWait(adj [][]int32, i int32, wi wormRef, id int32) {
+	dd := &n.dd
+	if o := n.chanOwner[id]; o >= 0 && o != wi && dd.stamp[o] == dd.epoch {
+		adj[i] = append(adj[i], dd.pos[o])
+	}
+	for _, q := range n.chanWaiters(id) {
+		if q == wi {
 			break
 		}
-		s[p], s[i] = s[i], s[p]
-		i = p
+		if dd.stamp[q] == dd.epoch {
+			adj[i] = append(adj[i], dd.pos[q])
+		}
 	}
 }
 
-func (h *wormHeap) pop() *worm {
-	s := *h
-	top := s[0]
-	last := len(s) - 1
-	s[0] = s[last]
-	s[last] = nil
-	s = s[:last]
-	*h = s
+// wormHeap is a binary min-heap of worm slot indices keyed by worm id,
+// used to merge same-cycle wakeups into the ascending-id active scan.
+// Push/pop live on Network (wokenPush/wokenPop) because the ordering key
+// is slots[ref].id.
+type wormHeap []wormRef
+
+func (n *Network) wokenPush(wi wormRef) {
+	h := append(n.wokenNow, wi)
+	s := n.slots
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[h[p]].id <= s[h[i]].id {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	n.wokenNow = h
+}
+
+func (n *Network) wokenPop() wormRef {
+	h := n.wokenNow
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	n.wokenNow = h
+	s := n.slots
 	for i := 0; ; {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(s) && s[l].id < s[min].id {
+		if l < len(h) && s[h[l]].id < s[h[min]].id {
 			min = l
 		}
-		if r < len(s) && s[r].id < s[min].id {
+		if r < len(h) && s[h[r]].id < s[h[min]].id {
 			min = r
 		}
 		if min == i {
 			break
 		}
-		s[i], s[min] = s[min], s[i]
+		h[i], h[min] = h[min], h[i]
 		i = min
 	}
 	return top
