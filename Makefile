@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-serve-baseline bench-regression profile-wormsim results fuzz check-fault check-scale check-churn check-serve
+.PHONY: check fmt vet build test race bench bench-baseline bench-wormsim-baseline bench-routing-baseline bench-heuristics-baseline bench-serve-baseline bench-regression profile-wormsim results fuzz check-fault check-scale check-churn check-serve check-workload
 
 ## check: everything CI runs — format, vet, build, race tests, quick benchmarks
 check: fmt vet build race bench
@@ -65,10 +65,11 @@ bench-routing-baseline:
 bench-heuristics-baseline:
 	$(GO) test ./internal/heuristics -run TestWriteHeuristicsBenchBaseline -update-heuristics-bench
 
-## fuzz: 30-second smoke of every fuzz target (healthy routing invariants + fault-mask CDG acyclicity)
+## fuzz: 30-second smoke of every fuzz target (healthy routing invariants + fault-mask CDG acyclicity + trace-parser round-trip)
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPlan -fuzztime 30s ./internal/routing
 	$(GO) test -run '^$$' -fuzz FuzzFaultMaskCDG -fuzztime 30s ./internal/fault
+	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 30s ./internal/workload
 
 ## check-fault: the fault-injection acceptance suite — masked-CDG acyclicity for every scheme, degraded routing, mid-run kill semantics, retry accounting, exact-vs-heuristic bounds on faulty meshes, and the mcfault parallel determinism contract
 check-fault:
@@ -118,6 +119,30 @@ check-serve:
 	done; \
 	echo "check-serve: mcserve outputs byte-identical across -parallel/-shards"
 
+## check-workload: the workload-engine acceptance suite — statistical
+## property tests and golden streams for every model, the trace
+## round-trip contract, the workload-driven simulator/service paths, the
+## reduced workload study, and byte-identity of every mcworkload output
+## across -parallel/-shards
+check-workload:
+	$(GO) test ./internal/workload
+	$(GO) test -run 'TestRunWorkload' ./internal/wormsim
+	$(GO) test -run 'TestServeWorkload|TestForceAdmit' ./internal/sched
+	$(GO) test -run 'TestWorkloadStudySmall|TestServeStudyWorkloadOption' ./internal/experiments
+	@a=$$(mktemp -d); b=$$(mktemp -d); \
+	$(GO) run ./cmd/mcworkload -quick -parallel 1 -shards 1 -out $$a >/dev/null; \
+	$(GO) run ./cmd/mcworkload -quick -parallel 4 -shards 4 -out $$b >/dev/null; \
+	for f in workload_scheme_mesh.txt workload_scheme_mesh.csv \
+		workload_scheme_cube.txt workload_scheme_cube.csv \
+		workload_packer_throughput.txt workload_packer_throughput.csv \
+		workload_packer_p99.txt workload_packer_p99.csv workload_study.txt; do \
+		cmp $$a/$$f $$b/$$f || { echo "check-workload: $$f differs across -parallel/-shards"; exit 1; }; \
+	done; \
+	$(GO) run ./cmd/mcworkload -quick -record bursty -o $$a/bursty.trace >/dev/null; \
+	$(GO) run ./cmd/mcworkload -quick -replay $$a/bursty.trace >/dev/null || \
+		{ echo "check-workload: trace record/replay failed"; exit 1; }; \
+	echo "check-workload: mcworkload outputs byte-identical across -parallel/-shards"
+
 ## results: regenerate every table and figure at full fidelity
 results:
 	$(GO) run ./cmd/mcfigures -out results
@@ -125,3 +150,4 @@ results:
 	$(GO) run ./cmd/mcscale -out results
 	$(GO) run ./cmd/mcchurn -out results
 	$(GO) run ./cmd/mcserve -out results
+	$(GO) run ./cmd/mcworkload -out results

@@ -38,6 +38,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV on stdout instead of writing files")
 	parallel := flag.Int("parallel", 0, "sweep and planner workers (0 = GOMAXPROCS, 1 = sequential; outputs are byte-identical)")
 	shards := flag.Int("shards", 0, "simulator shard count (0/1 = serial; outputs are byte-identical)")
+	workloadModel := flag.String("workload", "", "workload profile replacing the built-in group pool ("+strings.Join(experiments.WorkloadModelNames(), ", ")+"; empty = built-in pool)")
 	prof := profiling.AddFlags()
 	flag.Parse()
 	stopProf, err := prof.Start()
@@ -53,6 +54,19 @@ func main() {
 	opts.Seed = *seed
 	opts.Parallel = *parallel
 	opts.Shards = *shards
+	if *workloadModel != "" {
+		valid := false
+		for _, m := range experiments.WorkloadModelNames() {
+			if m == *workloadModel {
+				valid = true
+			}
+		}
+		if !valid {
+			fatal(fmt.Errorf("unknown -workload %q (valid: %s)",
+				*workloadModel, strings.Join(experiments.WorkloadModelNames(), ", ")))
+		}
+		opts.Workload = *workloadModel
+	}
 
 	res := experiments.ServeStudy(opts)
 
@@ -88,8 +102,13 @@ func writeSummary(dir string, opts experiments.ServeOptions, res experiments.Ser
 	}
 	defer f.Close()
 	fmt.Fprintf(f, "Serving study: window-batched multicast scheduling vs naive FIFO\n")
-	fmt.Fprintf(f, "64x64 mesh, dual-path routing, %d requests per point from a pool of\n", opts.Requests)
-	fmt.Fprintf(f, "%d multicast groups, %d-flit messages, sched budget %d.\n\n", opts.Groups, opts.Flits, opts.Budget)
+	if opts.Workload != "" {
+		fmt.Fprintf(f, "64x64 mesh, dual-path routing, %d requests per point from the %q\n", opts.Requests, opts.Workload)
+		fmt.Fprintf(f, "workload profile (%d groups), %d-flit messages, sched budget %d.\n\n", opts.Groups, opts.Flits, opts.Budget)
+	} else {
+		fmt.Fprintf(f, "64x64 mesh, dual-path routing, %d requests per point from a pool of\n", opts.Requests)
+		fmt.Fprintf(f, "%d multicast groups, %d-flit messages, sched budget %d.\n\n", opts.Groups, opts.Flits, opts.Budget)
+	}
 	fmt.Fprintf(f, "Latencies are full request-to-completion cycles, queueing included.\n")
 	fmt.Fprintf(f, "Deterministic at any -parallel and -shards value.\n\n")
 	fmt.Fprintf(f, "%-6s %9s %7s %9s %9s %9s %7s %8s %7s %6s %6s %5s\n",

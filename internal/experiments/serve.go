@@ -8,6 +8,7 @@ import (
 	"multicastnet/internal/sched"
 	"multicastnet/internal/stats"
 	"multicastnet/internal/topology"
+	"multicastnet/internal/workload"
 )
 
 // The serving study: aggregate multicast throughput and completion-latency
@@ -48,6 +49,12 @@ type ServeOptions struct {
 	Loads     []float64 // mean inter-arrival cycles, high to low load
 	Windows   []int64   // window sweep values, run at the highest load
 	MaxCycles int64
+
+	// Workload, when non-empty, names a workload profile (see
+	// WorkloadModelNames) that replaces the built-in group pool with a
+	// generated stream at each point's inter-arrival gap. Empty keeps
+	// the legacy pool — the committed serving figures.
+	Workload string
 }
 
 // ServeDefaults are the committed-figure settings. Budget 220 sits ~70
@@ -137,7 +144,7 @@ func ServeStudy(o ServeOptions) ServeStudyResult {
 		if err != nil {
 			panic(err)
 		}
-		return sched.Serve(sched.ServeConfig{
+		scfg := sched.ServeConfig{
 			Service: sched.Config{
 				Router:  routing.Flat(r, cache),
 				Budget:  p.budget,
@@ -154,7 +161,20 @@ func ServeStudy(o ServeOptions) ServeStudyResult {
 			PoolSeed:         stats.DeriveSeed(o.Seed, "serve/pool"),
 			MaxCycles:        o.MaxCycles,
 			Cache:            cache,
-		})
+		}
+		if o.Workload != "" {
+			spec, err := workloadStudySpec(o.Workload, o.Requests, o.Groups,
+				o.AvgDests, ia, 1.2)
+			if err != nil {
+				panic(err)
+			}
+			src, err := workload.New(topo, spec, stats.DeriveSeed(o.Seed, label))
+			if err != nil {
+				panic(err)
+			}
+			scfg.Workload = src
+		}
+		return sched.Serve(scfg)
 	}
 
 	var points []SweepPoint

@@ -6,6 +6,7 @@ import (
 	"multicastnet/internal/routing"
 	"multicastnet/internal/stats"
 	"multicastnet/internal/topology"
+	"multicastnet/internal/workload"
 	"multicastnet/internal/wormsim"
 )
 
@@ -32,6 +33,13 @@ type ServeConfig struct {
 	// sweeps can hold the pool fixed while Seed varies the arrivals.
 	PoolSeed  uint64
 	MaxCycles int64
+
+	// Workload, when set, supplies the request stream — arrival cycles,
+	// sources, and destination sets — in place of the built-in uniform
+	// group pool with Poisson arrivals; Groups, AvgDests,
+	// MeanInterarrival, Seed, and PoolSeed are then ignored. At most
+	// Requests requests are read from the source.
+	Workload workload.Source
 
 	// Cache, when set, is the PlanCache backing Service.Router; Serve
 	// reports its hit rate over the run.
@@ -73,29 +81,38 @@ func Serve(cfg ServeConfig) ServeResult {
 	rng := stats.NewRand(cfg.Seed)
 
 	// Group pool: destination sets generated once, reused by many
-	// requests — the dedup and cache locality the service exploits.
-	poolRng := rng
-	if cfg.PoolSeed != 0 {
-		poolRng = stats.NewRand(cfg.PoolSeed)
-	}
-	srcs := make([]topology.NodeID, cfg.Groups)
-	dests := make([][]topology.NodeID, cfg.Groups)
-	for g := range srcs {
-		src := topology.NodeID(poolRng.Intn(topo.Nodes()))
-		maxK := 2*cfg.AvgDests - 1
-		if maxK > topo.Nodes()-1 {
-			maxK = topo.Nodes() - 1
+	// requests — the dedup and cache locality the service exploits. A
+	// configured workload source replaces the pool entirely.
+	var srcs []topology.NodeID
+	var dests [][]topology.NodeID
+	var wlReq workload.Request
+	var wlOK bool
+	if cfg.Workload != nil {
+		wlReq, wlOK = cfg.Workload.Next()
+	} else {
+		poolRng := rng
+		if cfg.PoolSeed != 0 {
+			poolRng = stats.NewRand(cfg.PoolSeed)
 		}
-		k := 1
-		if maxK > 1 {
-			k = 1 + poolRng.Intn(maxK)
+		srcs = make([]topology.NodeID, cfg.Groups)
+		dests = make([][]topology.NodeID, cfg.Groups)
+		for g := range srcs {
+			src := topology.NodeID(poolRng.Intn(topo.Nodes()))
+			maxK := 2*cfg.AvgDests - 1
+			if maxK > topo.Nodes()-1 {
+				maxK = topo.Nodes() - 1
+			}
+			k := 1
+			if maxK > 1 {
+				k = 1 + poolRng.Intn(maxK)
+			}
+			raw := poolRng.Sample(topo.Nodes(), k, int(src))
+			ds := make([]topology.NodeID, k)
+			for i, v := range raw {
+				ds[i] = topology.NodeID(v)
+			}
+			srcs[g], dests[g] = src, ds
 		}
-		raw := poolRng.Sample(topo.Nodes(), k, int(src))
-		ds := make([]topology.NodeID, k)
-		for i, v := range raw {
-			ds[i] = topology.NodeID(v)
-		}
-		srcs[g], dests[g] = src, ds
 	}
 
 	net := wormsim.NewNetwork(topo)
@@ -121,22 +138,43 @@ func Serve(cfg ServeConfig) ServeResult {
 
 	var now int64
 	clock := 0.0 // fractional arrival cursor
-	clock += rng.ExpFloat64(cfg.MeanInterarrival)
+	if cfg.Workload == nil {
+		clock += rng.ExpFloat64(cfg.MeanInterarrival)
+	}
 	issued := 0
+	// done reports that every offered request completed. With a workload
+	// source the offer ends when the stream is exhausted (or Requests is
+	// reached); the built-in generator always offers exactly Requests.
+	done := func() bool {
+		if cfg.Workload != nil {
+			return (!wlOK || issued >= cfg.Requests) && completed >= issued
+		}
+		return completed >= cfg.Requests
+	}
+	submit := func(at int64, src topology.NodeID, ds []topology.NodeID) {
+		if err := svc.Submit(uint64(issued), src, ds); err != nil {
+			panic(err) // generated sets are valid by construction
+		}
+		arrival[issued] = at
+		issued++
+		inFlight++
+		if inFlight > maxInFlight {
+			maxInFlight = inFlight
+		}
+	}
 	nextWindow := cfg.WindowCycles
-	for completed < cfg.Requests && now < cfg.MaxCycles {
-		for issued < cfg.Requests && int64(clock) <= now {
-			g := rng.Intn(cfg.Groups)
-			if err := svc.Submit(uint64(issued), srcs[g], dests[g]); err != nil {
-				panic(err) // pool sets are valid by construction
+	for !done() && now < cfg.MaxCycles {
+		if cfg.Workload != nil {
+			for wlOK && issued < cfg.Requests && wlReq.At <= now {
+				submit(wlReq.At, wlReq.Src, wlReq.Dests)
+				wlReq, wlOK = cfg.Workload.Next()
 			}
-			arrival[issued] = int64(clock)
-			issued++
-			inFlight++
-			if inFlight > maxInFlight {
-				maxInFlight = inFlight
+		} else {
+			for issued < cfg.Requests && int64(clock) <= now {
+				g := rng.Intn(cfg.Groups)
+				submit(int64(clock), srcs[g], dests[g])
+				clock += rng.ExpFloat64(cfg.MeanInterarrival)
 			}
-			clock += rng.ExpFloat64(cfg.MeanInterarrival)
 		}
 		for nextWindow <= now {
 			for _, a := range svc.CloseWindow() {
@@ -144,13 +182,17 @@ func Serve(cfg ServeConfig) ServeResult {
 			}
 			nextWindow += cfg.WindowCycles
 		}
-		if completed >= cfg.Requests {
+		if done() {
 			break
 		}
 		if net.Idle() {
 			// Nothing can move: jump to the next arrival or window close.
 			target := nextWindow
-			if issued < cfg.Requests && int64(clock) < target {
+			if cfg.Workload != nil {
+				if wlOK && issued < cfg.Requests && wlReq.At < target {
+					target = wlReq.At
+				}
+			} else if issued < cfg.Requests && int64(clock) < target {
 				target = int64(clock)
 			}
 			if target <= now {
@@ -163,8 +205,12 @@ func Serve(cfg ServeConfig) ServeResult {
 		now = net.Cycle()
 	}
 
+	offered := cfg.Requests
+	if cfg.Workload != nil {
+		offered = issued
+	}
 	res := ServeResult{
-		Requests:     cfg.Requests,
+		Requests:     offered,
 		Completed:    completed,
 		Cycles:       now,
 		MaxInFlight:  maxInFlight,

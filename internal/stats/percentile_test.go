@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestPercentileEdgeCases pins the quantile estimator's contract at the
+// boundaries: empty input panics (callers guard), a single element is
+// every quantile, p <= 0 and p >= 1 clamp to the extremes, and interior
+// quantiles interpolate linearly.
+func TestPercentileEdgeCases(t *testing.T) {
+	t.Run("empty panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Percentile(nil, 0.5) returned, want panic")
+			}
+		}()
+		Percentile(nil, 0.5)
+	})
+
+	t.Run("single element", func(t *testing.T) {
+		one := []float64{7.25}
+		for _, p := range []float64{-1, 0, 0.01, 0.5, 0.99, 1, 2} {
+			if got := Percentile(one, p); got != 7.25 {
+				t.Errorf("Percentile([7.25], %g) = %g, want 7.25", p, got)
+			}
+		}
+	})
+
+	t.Run("p0 and p100 clamp", func(t *testing.T) {
+		s := []float64{1, 2, 3, 4, 5}
+		cases := []struct{ p, want float64 }{
+			{-0.5, 1}, {0, 1}, {1, 5}, {1.5, 5},
+		}
+		for _, c := range cases {
+			if got := Percentile(s, c.p); got != c.want {
+				t.Errorf("Percentile(1..5, %g) = %g, want %g", c.p, got, c.want)
+			}
+		}
+	})
+
+	t.Run("linear interpolation", func(t *testing.T) {
+		s := []float64{10, 20, 30, 40}
+		cases := []struct{ p, want float64 }{
+			{0.5, 25},       // rank 1.5: midway between 20 and 30
+			{0.25, 17.5},    // rank 0.75
+			{1.0 / 3.0, 20}, // rank exactly 1
+			{0.99, 39.7},    // rank 2.97
+		}
+		for _, c := range cases {
+			if got := Percentile(s, c.p); math.Abs(got-c.want) > 1e-9 {
+				t.Errorf("Percentile(10..40, %g) = %g, want %g", c.p, got, c.want)
+			}
+		}
+	})
+
+	t.Run("requires sorted input", func(t *testing.T) {
+		// The contract is caller-sorts: an unsorted slice interpolates
+		// positions, not values. Sorting first restores the quantile.
+		unsorted := []float64{40, 10, 30, 20}
+		if got := Percentile(unsorted, 0.5); got == 25 {
+			t.Skip("position interpolation happened to match; contract not observable")
+		}
+		s := append([]float64(nil), unsorted...)
+		sort.Float64s(s)
+		if got := Percentile(s, 0.5); got != 25 {
+			t.Errorf("Percentile(sorted, 0.5) = %g, want 25", got)
+		}
+	})
+
+	t.Run("duplicates", func(t *testing.T) {
+		s := []float64{5, 5, 5, 5, 9}
+		if got := Percentile(s, 0.5); got != 5 {
+			t.Errorf("median of {5,5,5,5,9} = %g, want 5", got)
+		}
+		if got := Percentile(s, 1); got != 9 {
+			t.Errorf("max of {5,5,5,5,9} = %g, want 9", got)
+		}
+	})
+}

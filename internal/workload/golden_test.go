@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"multicastnet/internal/topology"
+)
+
+// TestGoldenStreams pins the first requests of every model for one
+// fixed (topology, spec, seed). Streams are part of the repo's
+// determinism contract — committed figures replay them — so any change
+// to generation order is a breaking change and must show up here.
+func TestGoldenStreams(t *testing.T) {
+	topo := topology.NewMesh2D(8, 8)
+	cases := []struct {
+		name string
+		spec Spec
+		want []Request
+	}{
+		{"uniform", Spec{Model: ModelUniform, Requests: 5, Groups: 8}, []Request{
+			{At: 0, Src: 40, Dests: []topology.NodeID{0, 22, 49}},
+			{At: 0, Src: 19, Dests: []topology.NodeID{41, 45, 4, 3, 51, 53}},
+			{At: 1, Src: 45, Dests: []topology.NodeID{25, 22, 58, 21, 44, 18}},
+			{At: 7, Src: 46, Dests: []topology.NodeID{1, 47, 29, 30, 50}},
+			{At: 9, Src: 63, Dests: []topology.NodeID{7, 5, 18, 26}},
+		}},
+		{"zipf", Spec{Model: ModelZipf, Requests: 5, Groups: 8}, []Request{
+			{At: 0, Src: 63, Dests: []topology.NodeID{7, 5, 18, 26}},
+			{At: 0, Src: 26, Dests: []topology.NodeID{42, 7, 50}},
+			{At: 1, Src: 40, Dests: []topology.NodeID{0, 22, 49}},
+			{At: 7, Src: 40, Dests: []topology.NodeID{0, 22, 49}},
+			{At: 9, Src: 46, Dests: []topology.NodeID{1, 47, 29, 30, 50}},
+		}},
+		{"hotspot", Spec{Model: ModelHotspot, Requests: 5}, []Request{
+			{At: 0, Src: 31, Dests: []topology.NodeID{3, 54}},
+			{At: 0, Src: 37, Dests: []topology.NodeID{13, 1, 0}},
+			{At: 0, Src: 1, Dests: []topology.NodeID{2, 3, 56}},
+			{At: 3, Src: 17, Dests: []topology.NodeID{1, 2, 13, 3, 26, 10}},
+			{At: 4, Src: 33, Dests: []topology.NodeID{3}},
+		}},
+		{"transpose", Spec{Model: ModelTranspose, Requests: 5}, []Request{
+			{At: 0, Src: 31, Dests: []topology.NodeID{59, 58}},
+			{At: 2, Src: 27, Dests: []topology.NodeID{26, 28}},
+			{At: 7, Src: 9, Dests: []topology.NodeID{8}},
+			{At: 10, Src: 45, Dests: []topology.NodeID{44, 46}},
+			{At: 14, Src: 29, Dests: []topology.NodeID{43, 42, 44, 35, 51}},
+		}},
+		{"collective", Spec{Model: ModelCollective, Requests: 5, Groups: 2, GroupSize: 3}, []Request{
+			{At: 0, Src: 18, Dests: []topology.NodeID{5}},
+			{At: 0, Src: 26, Dests: []topology.NodeID{5}},
+			{At: 0, Src: 18, Dests: []topology.NodeID{5}},
+			{At: 0, Src: 26, Dests: []topology.NodeID{5}},
+			{At: 64, Src: 5, Dests: []topology.NodeID{18, 26}},
+		}},
+		{"bursty", Spec{Model: ModelZipf, Arrivals: ArrivalsOnOff, Requests: 5, Groups: 8}, []Request{
+			{At: 4, Src: 40, Dests: []topology.NodeID{0, 22, 49}},
+			{At: 5, Src: 45, Dests: []topology.NodeID{25, 22, 58, 21, 44, 18}},
+			{At: 5, Src: 63, Dests: []topology.NodeID{7, 5, 18, 26}},
+			{At: 5, Src: 46, Dests: []topology.NodeID{1, 47, 29, 30, 50}},
+			{At: 5, Src: 40, Dests: []topology.NodeID{0, 22, 49}},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := collect(t, topo, c.spec, 42, len(c.want)+1)
+			if len(got) != len(c.want) {
+				t.Fatalf("got %d requests, want %d", len(got), len(c.want))
+			}
+			for i := range got {
+				if !requestsEqual(got[i], c.want[i]) {
+					t.Errorf("request %d: got %v, want %v", i, got[i], c.want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,328 @@
+// Versioned workload traces: any generated stream can be recorded into a
+// plain-text trace file and replayed byte-identically. The format is
+// line-oriented and self-describing:
+//
+//	mcworkload-trace v1
+//	topo <nodes> <name>
+//	seed <seed>
+//	spec model=<m> arrivals=<a> requests=<n> groups=<n> groupsize=<n> \
+//	     avgdests=<n> zipfs=<g> hotfrac=<g> hotnodes=<n> meangap=<g> \
+//	     burstmean=<g> burstgap=<g> idlegap=<g> phasegap=<n>
+//	begin <count>
+//	<at> <src> <dest> [<dest> ...]
+//	...
+//	end <count>
+//
+// (the spec line is a single line; it is wrapped here for readability).
+// The parser is strict: it rejects unknown versions, malformed or
+// out-of-range fields, time-regressing requests, invalid destination
+// sets, count mismatches, truncation, and trailing bytes — a trace that
+// parses replays exactly what was recorded.
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"multicastnet/internal/topology"
+)
+
+// traceVersion is the format identifier of the current trace version.
+const traceVersion = "mcworkload-trace v1"
+
+// maxTraceLine bounds one trace line (a request can carry thousands of
+// destinations on large topologies).
+const maxTraceLine = 1 << 20
+
+// Trace is a recorded workload: the generating provenance (topology
+// shape, seed, normalized spec) plus the full request sequence.
+type Trace struct {
+	Nodes int    // node count the requests are addressed against
+	Topo  string // human-readable topology name, e.g. "64x64 mesh"
+	Seed  uint64
+	Spec  Spec
+	Reqs  []Request
+}
+
+// Record runs a fresh stream over (t, spec, seed) to exhaustion and
+// returns the trace. The recorded requests are exactly what a live
+// Stream with the same inputs yields.
+func Record(t topology.Topology, spec Spec, seed uint64) (*Trace, error) {
+	s, err := New(t, spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Nodes: t.Nodes(), Topo: t.Name(), Seed: seed, Spec: s.Spec()}
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		tr.Reqs = append(tr.Reqs, r)
+	}
+	return tr, nil
+}
+
+// Source returns a replayer over the trace's requests. Replaying a
+// recorded trace is byte-identical to the live generator it recorded.
+func (t *Trace) Source() Source { return &replayer{reqs: t.Reqs} }
+
+type replayer struct {
+	reqs []Request
+	i    int
+}
+
+func (r *replayer) Next() (Request, bool) {
+	if r.i >= len(r.reqs) {
+		return Request{}, false
+	}
+	req := r.reqs[r.i]
+	r.i++
+	return req, true
+}
+
+// WriteTrace serializes the trace in canonical form: writing, parsing,
+// and re-writing a trace is byte-identical.
+func WriteTrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\n", traceVersion)
+	fmt.Fprintf(bw, "topo %d %s\n", t.Nodes, t.Topo)
+	fmt.Fprintf(bw, "seed %d\n", t.Seed)
+	sp := t.Spec
+	fmt.Fprintf(bw, "spec model=%s arrivals=%s requests=%d groups=%d groupsize=%d avgdests=%d zipfs=%g hotfrac=%g hotnodes=%d meangap=%g burstmean=%g burstgap=%g idlegap=%g phasegap=%d\n",
+		sp.Model, sp.Arrivals, sp.Requests, sp.Groups, sp.GroupSize, sp.AvgDests,
+		sp.ZipfS, sp.HotFrac, sp.HotNodes, sp.MeanGap, sp.BurstMean, sp.BurstGap,
+		sp.IdleGap, sp.PhaseGap)
+	fmt.Fprintf(bw, "begin %d\n", len(t.Reqs))
+	for _, r := range t.Reqs {
+		fmt.Fprintf(bw, "%d %d", r.At, r.Src)
+		for _, d := range r.Dests {
+			fmt.Fprintf(bw, " %d", d)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintf(bw, "end %d\n", len(t.Reqs))
+	return bw.Flush()
+}
+
+// ReadTrace parses and validates a trace. Every structural or semantic
+// defect — wrong version, malformed numbers, out-of-range nodes,
+// regressing timestamps, invalid destination sets, count mismatches,
+// missing end marker, trailing data — is an error naming the line.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxTraceLine)
+	line := 0
+	nextLine := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", fmt.Errorf("workload: trace truncated at line %d", line+1)
+		}
+		line++
+		return sc.Text(), nil
+	}
+
+	v, err := nextLine()
+	if err != nil {
+		return nil, err
+	}
+	if v != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %q (want %q)", v, traceVersion)
+	}
+
+	t := &Trace{}
+	topoLine, err := nextLine()
+	if err != nil {
+		return nil, err
+	}
+	rest, ok := strings.CutPrefix(topoLine, "topo ")
+	if !ok {
+		return nil, fmt.Errorf("workload: line %d: expected topo line, got %q", line, topoLine)
+	}
+	nodesStr, name, ok := strings.Cut(rest, " ")
+	if !ok || name == "" {
+		return nil, fmt.Errorf("workload: line %d: topo line needs node count and name", line)
+	}
+	t.Nodes, err = strconv.Atoi(nodesStr)
+	if err != nil || t.Nodes < 2 {
+		return nil, fmt.Errorf("workload: line %d: bad topo node count %q", line, nodesStr)
+	}
+	t.Topo = name
+
+	seedLine, err := nextLine()
+	if err != nil {
+		return nil, err
+	}
+	rest, ok = strings.CutPrefix(seedLine, "seed ")
+	if !ok {
+		return nil, fmt.Errorf("workload: line %d: expected seed line, got %q", line, seedLine)
+	}
+	t.Seed, err = strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("workload: line %d: bad seed %q", line, rest)
+	}
+
+	specLine, err := nextLine()
+	if err != nil {
+		return nil, err
+	}
+	rest, ok = strings.CutPrefix(specLine, "spec ")
+	if !ok {
+		return nil, fmt.Errorf("workload: line %d: expected spec line, got %q", line, specLine)
+	}
+	if t.Spec, err = parseSpec(rest); err != nil {
+		return nil, fmt.Errorf("workload: line %d: %w", line, err)
+	}
+
+	beginLine, err := nextLine()
+	if err != nil {
+		return nil, err
+	}
+	rest, ok = strings.CutPrefix(beginLine, "begin ")
+	if !ok {
+		return nil, fmt.Errorf("workload: line %d: expected begin line, got %q", line, beginLine)
+	}
+	count, err := strconv.Atoi(rest)
+	if err != nil || count < 0 {
+		return nil, fmt.Errorf("workload: line %d: bad request count %q", line, rest)
+	}
+
+	var prevAt int64
+	for i := 0; i < count; i++ {
+		reqLine, err := nextLine()
+		if err != nil {
+			return nil, err
+		}
+		req, err := parseRequest(reqLine, t.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if req.At < prevAt {
+			return nil, fmt.Errorf("workload: line %d: request time %d regresses below %d", line, req.At, prevAt)
+		}
+		prevAt = req.At
+		t.Reqs = append(t.Reqs, req)
+	}
+
+	endLine, err := nextLine()
+	if err != nil {
+		return nil, err
+	}
+	rest, ok = strings.CutPrefix(endLine, "end ")
+	if !ok {
+		return nil, fmt.Errorf("workload: line %d: expected end line, got %q", line, endLine)
+	}
+	endCount, err := strconv.Atoi(rest)
+	if err != nil || endCount != count {
+		return nil, fmt.Errorf("workload: line %d: end count %q does not match begin count %d", line, rest, count)
+	}
+	if sc.Scan() {
+		return nil, fmt.Errorf("workload: trailing data after end marker at line %d", line+1)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseTrace is ReadTrace over a byte slice.
+func ParseTrace(b []byte) (*Trace, error) { return ReadTrace(bytes.NewReader(b)) }
+
+// parseSpec parses the canonical key=value spec fields. All fourteen
+// keys must appear exactly once, in any order; unknown keys are errors.
+func parseSpec(s string) (Spec, error) {
+	var sp Spec
+	seen := make(map[string]bool, 14)
+	for _, f := range strings.Fields(s) {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return sp, fmt.Errorf("spec field %q is not key=value", f)
+		}
+		if seen[key] {
+			return sp, fmt.Errorf("duplicate spec key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "model":
+			sp.Model = val
+		case "arrivals":
+			sp.Arrivals = val
+		case "requests":
+			sp.Requests, err = strconv.Atoi(val)
+		case "groups":
+			sp.Groups, err = strconv.Atoi(val)
+		case "groupsize":
+			sp.GroupSize, err = strconv.Atoi(val)
+		case "avgdests":
+			sp.AvgDests, err = strconv.Atoi(val)
+		case "zipfs":
+			sp.ZipfS, err = strconv.ParseFloat(val, 64)
+		case "hotfrac":
+			sp.HotFrac, err = strconv.ParseFloat(val, 64)
+		case "hotnodes":
+			sp.HotNodes, err = strconv.Atoi(val)
+		case "meangap":
+			sp.MeanGap, err = strconv.ParseFloat(val, 64)
+		case "burstmean":
+			sp.BurstMean, err = strconv.ParseFloat(val, 64)
+		case "burstgap":
+			sp.BurstGap, err = strconv.ParseFloat(val, 64)
+		case "idlegap":
+			sp.IdleGap, err = strconv.ParseFloat(val, 64)
+		case "phasegap":
+			var v int
+			v, err = strconv.Atoi(val)
+			sp.PhaseGap = int64(v)
+		default:
+			return sp, fmt.Errorf("unknown spec key %q", key)
+		}
+		if err != nil {
+			return sp, fmt.Errorf("bad spec value %q: %v", f, err)
+		}
+	}
+	if len(seen) != 14 {
+		return sp, fmt.Errorf("spec has %d of 14 required keys", len(seen))
+	}
+	return sp, nil
+}
+
+// parseRequest parses "<at> <src> <dest> [<dest> ...]" and validates the
+// destination set against the node count.
+func parseRequest(s string, nodes int) (Request, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return Request{}, fmt.Errorf("request %q needs at, src, and at least one destination", s)
+	}
+	at, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || at < 0 {
+		return Request{}, fmt.Errorf("bad request time %q", fields[0])
+	}
+	src, err := strconv.Atoi(fields[1])
+	if err != nil || src < 0 || src >= nodes {
+		return Request{}, fmt.Errorf("source %q out of range [0,%d)", fields[1], nodes)
+	}
+	req := Request{At: at, Src: topology.NodeID(src)}
+	req.Dests = make([]topology.NodeID, 0, len(fields)-2)
+	for _, f := range fields[2:] {
+		d, err := strconv.Atoi(f)
+		if err != nil || d < 0 || d >= nodes {
+			return Request{}, fmt.Errorf("destination %q out of range [0,%d)", f, nodes)
+		}
+		nd := topology.NodeID(d)
+		if nd == req.Src {
+			return Request{}, fmt.Errorf("source %d listed as destination", d)
+		}
+		if containsNode(req.Dests, nd) {
+			return Request{}, fmt.Errorf("duplicate destination %d", d)
+		}
+		req.Dests = append(req.Dests, nd)
+	}
+	return req, nil
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multicastnet/internal/topology"
+)
+
+// traceCases cover every model and both arrival processes.
+func traceCases() []struct {
+	name string
+	spec Spec
+} {
+	return []struct {
+		name string
+		spec Spec
+	}{
+		{"uniform-poisson", Spec{Model: ModelUniform, Requests: 120, Groups: 8}},
+		{"zipf-poisson", Spec{Model: ModelZipf, Requests: 120, Groups: 8}},
+		{"zipf-onoff", Spec{Model: ModelZipf, Arrivals: ArrivalsOnOff, Requests: 120, Groups: 8}},
+		{"hotspot-poisson", Spec{Model: ModelHotspot, Requests: 120}},
+		{"hotspot-onoff", Spec{Model: ModelHotspot, Arrivals: ArrivalsOnOff, Requests: 120}},
+		{"transpose-poisson", Spec{Model: ModelTranspose, Requests: 120}},
+		{"transpose-onoff", Spec{Model: ModelTranspose, Arrivals: ArrivalsOnOff, Requests: 120}},
+		{"collective-poisson", Spec{Model: ModelCollective, Requests: 120, Groups: 4, GroupSize: 4}},
+		{"collective-onoff", Spec{Model: ModelCollective, Arrivals: ArrivalsOnOff, Requests: 120, Groups: 4, GroupSize: 4}},
+	}
+}
+
+// TestTraceRoundTrip: record -> write -> parse -> replay reproduces the
+// live generator exactly, and re-writing the parsed trace is
+// byte-identical to the first serialization.
+func TestTraceRoundTrip(t *testing.T) {
+	topo := topology.NewMesh2D(8, 8)
+	for _, c := range traceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			const seed = 77
+			tr, err := Record(topo, c.spec, seed)
+			if err != nil {
+				t.Fatalf("Record: %v", err)
+			}
+			if len(tr.Reqs) != c.spec.Requests {
+				t.Fatalf("recorded %d requests, want %d", len(tr.Reqs), c.spec.Requests)
+			}
+
+			var buf bytes.Buffer
+			if err := WriteTrace(&buf, tr); err != nil {
+				t.Fatalf("WriteTrace: %v", err)
+			}
+			parsed, err := ParseTrace(buf.Bytes())
+			if err != nil {
+				t.Fatalf("ParseTrace: %v", err)
+			}
+			if parsed.Nodes != topo.Nodes() || parsed.Topo != topo.Name() || parsed.Seed != seed {
+				t.Fatalf("provenance mismatch: %+v", parsed)
+			}
+			if parsed.Spec != tr.Spec {
+				t.Fatalf("spec mismatch:\n got %+v\nwant %+v", parsed.Spec, tr.Spec)
+			}
+
+			// Replay against the live generator, request by request.
+			live, err := New(topo, c.spec, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay := parsed.Source()
+			for i := 0; ; i++ {
+				lr, lok := live.Next()
+				rr, rok := replay.Next()
+				if lok != rok {
+					t.Fatalf("request %d: live ok=%v, replay ok=%v", i, lok, rok)
+				}
+				if !lok {
+					break
+				}
+				if !requestsEqual(lr, rr) {
+					t.Fatalf("request %d: live %v, replay %v", i, lr, rr)
+				}
+			}
+
+			// Canonical form: write(parse(write(x))) == write(x).
+			var buf2 bytes.Buffer
+			if err := WriteTrace(&buf2, parsed); err != nil {
+				t.Fatalf("re-WriteTrace: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatalf("re-serialization is not byte-identical")
+			}
+		})
+	}
+}
+
+// validTraceBytes returns one known-good serialized trace.
+func validTraceBytes(t *testing.T) []byte {
+	t.Helper()
+	tr, err := Record(topology.NewMesh2D(4, 4), Spec{Model: ModelUniform, Requests: 6, Groups: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceParseErrors feeds the strict parser structurally and
+// semantically corrupt traces; every one must fail with an error (and
+// never panic).
+func TestTraceParseErrors(t *testing.T) {
+	valid := string(validTraceBytes(t))
+	lines := strings.Split(strings.TrimSuffix(valid, "\n"), "\n")
+	mutate := func(i int, repl string) string {
+		out := append([]string(nil), lines...)
+		out[i] = repl
+		return strings.Join(out, "\n") + "\n"
+	}
+	cases := map[string]string{
+		"empty":             "",
+		"bad version":       mutate(0, "mcworkload-trace v99"),
+		"missing topo":      mutate(1, "seed 1"),
+		"topo no name":      mutate(1, "topo 16"),
+		"topo bad count":    mutate(1, "topo x 4x4 mesh"),
+		"topo one node":     mutate(1, "topo 1 dot"),
+		"bad seed":          mutate(2, "seed pi"),
+		"spec not kv":       mutate(3, "spec model"),
+		"spec unknown key":  mutate(3, lines[3]+" color=red"),
+		"spec dup key":      mutate(3, lines[3]+" model=uniform"),
+		"spec missing keys": mutate(3, "spec model=uniform"),
+		"spec bad number":   mutate(3, strings.Replace(lines[3], "requests=6", "requests=six", 1)),
+		"bad begin":         mutate(4, "begin lots"),
+		"negative begin":    mutate(4, "begin -1"),
+		"count mismatch":    mutate(4, "begin 7"),
+		"end mismatch":      mutate(len(lines)-1, "end 99"),
+		"missing end":       strings.Join(lines[:len(lines)-1], "\n") + "\n",
+		"trailing data":     valid + "extra\n",
+		"req too few":       mutate(5, "0 1"),
+		"req bad time":      mutate(5, "x 1 2"),
+		"req negative time": mutate(5, "-4 1 2"),
+		"req bad src":       mutate(5, "0 99 2"),
+		"req bad dest":      mutate(5, "0 1 99"),
+		"req self dest":     mutate(5, "0 1 1"),
+		"req dup dest":      mutate(5, "0 1 2 2"),
+	}
+	{
+		// Time regression: raise the first request's time above the rest.
+		out := append([]string(nil), lines...)
+		out[5] = "1000000 1 2"
+		out[6] = "0 1 2"
+		cases["req time regresses"] = strings.Join(out, "\n") + "\n"
+	}
+	if _, err := ParseTrace([]byte(valid)); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	for name, in := range cases {
+		if _, err := ParseTrace([]byte(in)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+// TestTraceOversizedLine: a line beyond the scanner cap errors cleanly.
+func TestTraceOversizedLine(t *testing.T) {
+	huge := traceVersion + "\ntopo 4 dot\nseed 1\n" + strings.Repeat("x", maxTraceLine+10) + "\n"
+	if _, err := ParseTrace([]byte(huge)); err == nil {
+		t.Fatal("oversized line accepted, want error")
+	}
+}
+
+// FuzzTraceParse: the strict parser must never panic, and any input it
+// accepts must re-serialize canonically (write(parse(x)) re-parses to
+// the same trace, byte-identically).
+func FuzzTraceParse(f *testing.F) {
+	tr, err := Record(topology.NewMesh2D(4, 4), Spec{Model: ModelUniform, Requests: 4, Groups: 4}, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(traceVersion + "\n"))
+	f.Add([]byte("topo 4 dot\n"))
+	f.Add([]byte(traceVersion + "\ntopo 4 dot\nseed 0\nspec model=uniform\nbegin 0\nend 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseTrace(data)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		tr2, err := ParseTrace(out.Bytes())
+		if err != nil {
+			t.Fatalf("canonical serialization rejected: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := WriteTrace(&out2, tr2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("canonical form is not a fixed point")
+		}
+	})
+}

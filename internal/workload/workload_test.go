@@ -1,0 +1,432 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"multicastnet/internal/stats"
+	"multicastnet/internal/topology"
+)
+
+// collect drains up to n requests from a fresh stream, deep-copying the
+// destination slices (the generator may share them with its pool).
+func collect(t *testing.T, topo topology.Topology, spec Spec, seed uint64, n int) []Request {
+	t.Helper()
+	s, err := New(topo, spec, seed)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var out []Request
+	for len(out) < n {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		cp := r
+		cp.Dests = append([]topology.NodeID(nil), r.Dests...)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// checkValid asserts the Source contract over a request sequence:
+// nondecreasing times and valid destination sets.
+func checkValid(t *testing.T, topo topology.Topology, reqs []Request) {
+	t.Helper()
+	n := topo.Nodes()
+	var prev int64
+	for i, r := range reqs {
+		if r.At < prev {
+			t.Fatalf("request %d: time %d regresses below %d", i, r.At, prev)
+		}
+		prev = r.At
+		if r.Src < 0 || int(r.Src) >= n {
+			t.Fatalf("request %d: source %d out of range", i, r.Src)
+		}
+		if len(r.Dests) == 0 {
+			t.Fatalf("request %d: empty destination set", i)
+		}
+		seen := make(map[topology.NodeID]bool, len(r.Dests))
+		for _, d := range r.Dests {
+			if d < 0 || int(d) >= n {
+				t.Fatalf("request %d: destination %d out of range", i, d)
+			}
+			if d == r.Src {
+				t.Fatalf("request %d: source %d in destination set", i, r.Src)
+			}
+			if seen[d] {
+				t.Fatalf("request %d: duplicate destination %d", i, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+// TestStreamContract runs every (model, arrivals) combination and checks
+// the Source contract plus the exact request count.
+func TestStreamContract(t *testing.T) {
+	topo := topology.NewMesh2D(8, 8)
+	for _, model := range Models() {
+		for _, arr := range Arrivals() {
+			t.Run(model+"/"+arr, func(t *testing.T) {
+				spec := Spec{Model: model, Arrivals: arr, Requests: 500, Groups: 16}
+				reqs := collect(t, topo, spec, 7, 600)
+				if len(reqs) != 500 {
+					t.Fatalf("got %d requests, want 500", len(reqs))
+				}
+				checkValid(t, topo, reqs)
+			})
+		}
+	}
+}
+
+// TestStreamDeterminism: identical inputs replay identically; a
+// different seed diverges.
+func TestStreamDeterminism(t *testing.T) {
+	topo := topology.NewHypercube(6)
+	for _, model := range Models() {
+		spec := Spec{Model: model, Arrivals: ArrivalsOnOff, Requests: 300}
+		a := collect(t, topo, spec, 11, 300)
+		b := collect(t, topo, spec, 11, 300)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ: %d vs %d", model, len(a), len(b))
+		}
+		for i := range a {
+			if !requestsEqual(a[i], b[i]) {
+				t.Fatalf("%s: request %d differs: %v vs %v", model, i, a[i], b[i])
+			}
+		}
+		c := collect(t, topo, spec, 12, 300)
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if !requestsEqual(a[i], c[i]) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 11 and 12 produced identical streams", model)
+		}
+	}
+}
+
+func requestsEqual(a, b Request) bool {
+	if a.At != b.At || a.Src != b.Src || len(a.Dests) != len(b.Dests) {
+		return false
+	}
+	for i := range a.Dests {
+		if a.Dests[i] != b.Dests[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestZipfRanking checks the zipf model's empirical group frequencies
+// against the closed form: group rank r is drawn with probability
+// (r+1)^-s / H(groups, s), so counts must descend by rank and the top
+// ranks must match theory within tolerance.
+func TestZipfRanking(t *testing.T) {
+	const (
+		groups = 32
+		n      = 200_000
+		s      = 1.2
+	)
+	topo := topology.NewMesh2D(16, 16)
+	st, err := New(topo, Spec{Model: ModelZipf, Requests: n, Groups: groups, ZipfS: s}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pool's dests slices are shared with emitted requests, so slice
+	// identity recovers each request's group rank.
+	rank := make(map[*topology.NodeID]int, groups)
+	for g := range st.dests {
+		rank[&st.dests[g][0]] = g
+	}
+	counts := make([]int, groups)
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		g, known := rank[&r.Dests[0]]
+		if !known {
+			t.Fatalf("request destinations not from the pinned pool")
+		}
+		counts[g]++
+	}
+	h := 0.0
+	for r := 0; r < groups; r++ {
+		h += math.Pow(float64(r+1), -s)
+	}
+	for r := 0; r < 5; r++ {
+		want := math.Pow(float64(r+1), -s) / h
+		got := float64(counts[r]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: empirical frequency %.4f, closed form %.4f", r, got, want)
+		}
+	}
+	// Descending by rank over the head (sampling noise can reorder the
+	// near-equal tail; ranks 0..7 are separated by >9% relative gaps).
+	for r := 1; r < 8; r++ {
+		if counts[r] >= counts[r-1] {
+			t.Errorf("rank %d count %d not below rank %d count %d",
+				r, counts[r], r-1, counts[r-1])
+		}
+	}
+}
+
+// TestGeometricDistribution checks the burst-size sampler against the
+// geometric closed form: mean and P(B=1) = p = 1/mean.
+func TestGeometricDistribution(t *testing.T) {
+	const (
+		mean = 16.0
+		n    = 200_000
+	)
+	rng := stats.NewRand(9)
+	sum, ones := 0, 0
+	for i := 0; i < n; i++ {
+		b := geometric(rng, mean)
+		if b < 1 {
+			t.Fatalf("burst size %d below 1", b)
+		}
+		sum += b
+		if b == 1 {
+			ones++
+		}
+	}
+	if got := float64(sum) / n; math.Abs(got-mean) > 0.25 {
+		t.Errorf("empirical mean burst %.3f, want %.1f", got, mean)
+	}
+	if got, want := float64(ones)/n, 1/mean; math.Abs(got-want) > 0.005 {
+		t.Errorf("empirical P(B=1) %.4f, closed form %.4f", got, want)
+	}
+	// Degenerate mean: always a single request.
+	for i := 0; i < 100; i++ {
+		if b := geometric(rng, 1); b != 1 {
+			t.Fatalf("geometric(1) returned %d", b)
+		}
+	}
+}
+
+// TestOnOffLoadMatching: with defaults the ON/OFF process offers the
+// same average load as the poisson process at MeanGap — the mean gap
+// over a long stream approaches MeanGap.
+func TestOnOffLoadMatching(t *testing.T) {
+	const meanGap = 8.0
+	topo := topology.NewMesh2D(16, 16)
+	spec := Spec{Model: ModelUniform, Arrivals: ArrivalsOnOff,
+		Requests: 100_000, MeanGap: meanGap}
+	reqs := collect(t, topo, spec, 3, spec.Requests)
+	span := float64(reqs[len(reqs)-1].At - reqs[0].At)
+	got := span / float64(len(reqs)-1)
+	if math.Abs(got-meanGap)/meanGap > 0.1 {
+		t.Errorf("ON/OFF mean gap %.3f cycles, want %.1f within 10%%", got, meanGap)
+	}
+	// Burstiness: the gap variance must far exceed the poisson process's
+	// (exponential gaps have CV = 1; the ON/OFF mixture is much wider).
+	mean, m2 := 0.0, 0.0
+	for i := 1; i < len(reqs); i++ {
+		g := float64(reqs[i].At - reqs[i-1].At)
+		mean += g
+		m2 += g * g
+	}
+	k := float64(len(reqs) - 1)
+	mean /= k
+	cv2 := (m2/k - mean*mean) / (mean * mean)
+	if cv2 < 2 {
+		t.Errorf("ON/OFF squared coefficient of variation %.2f, want >= 2 (bursty)", cv2)
+	}
+}
+
+// TestPoissonGapMean: the open-loop process's empirical mean gap matches
+// MeanGap.
+func TestPoissonGapMean(t *testing.T) {
+	const meanGap = 5.0
+	topo := topology.NewMesh2D(16, 16)
+	spec := Spec{Model: ModelUniform, Requests: 100_000, MeanGap: meanGap}
+	reqs := collect(t, topo, spec, 21, spec.Requests)
+	span := float64(reqs[len(reqs)-1].At - reqs[0].At)
+	got := span / float64(len(reqs)-1)
+	if math.Abs(got-meanGap)/meanGap > 0.05 {
+		t.Errorf("poisson mean gap %.3f cycles, want %.1f within 5%%", got, meanGap)
+	}
+}
+
+// TestHotspotConcentration checks the hotspot model against its closed
+// form: each destination lands in [0, HotNodes) with probability
+// HotFrac + (1-HotFrac)*HotNodes/Nodes (the uniform branch can also
+// land hot).
+func TestHotspotConcentration(t *testing.T) {
+	const (
+		hotFrac  = 0.8
+		hotNodes = 64
+	)
+	topo := topology.NewMesh2D(32, 32)
+	spec := Spec{Model: ModelHotspot, Requests: 50_000,
+		HotFrac: hotFrac, HotNodes: hotNodes}
+	reqs := collect(t, topo, spec, 17, spec.Requests)
+	checkValid(t, topo, reqs)
+	hot, total := 0, 0
+	for _, r := range reqs {
+		for _, d := range r.Dests {
+			total++
+			if int(d) < hotNodes {
+				hot++
+			}
+		}
+	}
+	want := hotFrac + (1-hotFrac)*float64(hotNodes)/float64(topo.Nodes())
+	// Rejection of duplicate/self draws slightly perturbs the marginal;
+	// 2% absolute tolerance covers it at this sample size.
+	if got := float64(hot) / float64(total); math.Abs(got-want) > 0.02 {
+		t.Errorf("hot-region destination fraction %.4f, closed form %.4f", got, want)
+	}
+}
+
+// TestHotspotFullConcentration: HotFrac 1 must not stall (destination
+// counts clamp to the hot region size) and every destination is hot.
+func TestHotspotFullConcentration(t *testing.T) {
+	topo := topology.NewMesh2D(16, 16)
+	spec := Spec{Model: ModelHotspot, Requests: 2_000, HotFrac: 1, HotNodes: 4, AvgDests: 8}
+	reqs := collect(t, topo, spec, 1, spec.Requests)
+	if len(reqs) != spec.Requests {
+		t.Fatalf("got %d requests, want %d", len(reqs), spec.Requests)
+	}
+	checkValid(t, topo, reqs)
+	for i, r := range reqs {
+		if len(r.Dests) > 3 {
+			t.Fatalf("request %d: %d destinations exceed the 3 hot non-source nodes", i, len(r.Dests))
+		}
+		for _, d := range r.Dests {
+			if int(d) >= 4 {
+				t.Fatalf("request %d: destination %d outside the hot region", i, d)
+			}
+		}
+	}
+}
+
+// TestTransposePartner pins the partner mapping on each topology class.
+func TestTransposePartner(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	if got := TransposePartner(mesh, mesh.ID(1, 2)); got != mesh.ID(2, 1) {
+		t.Errorf("mesh (1,2) partner = %d, want %d", got, mesh.ID(2, 1))
+	}
+	if got := TransposePartner(mesh, mesh.ID(3, 3)); got != mesh.ID(3, 3) {
+		t.Errorf("mesh diagonal (3,3) partner = %d, want itself", got)
+	}
+	wide := topology.NewMesh2D(8, 2) // non-square: coordinates clamp
+	if got, want := TransposePartner(wide, wide.ID(6, 1)), wide.ID(1, 1); got != want {
+		t.Errorf("wide mesh (6,1) partner = %d, want %d (y clamped)", got, want)
+	}
+	cube := topology.NewHypercube(3)
+	if got := TransposePartner(cube, 0b001); got != 0b100 {
+		t.Errorf("cube 001 partner = %03b, want 100", got)
+	}
+	if got := TransposePartner(cube, 0b101); got != 0b101 {
+		t.Errorf("cube palindrome 101 partner = %03b, want itself", got)
+	}
+}
+
+// TestTransposeClustering: every destination set contains the source's
+// transpose partner (unless the partner is the source itself) and stays
+// within a tight BFS radius of it.
+func TestTransposeClustering(t *testing.T) {
+	topo := topology.NewMesh2D(8, 8)
+	spec := Spec{Model: ModelTranspose, Requests: 2_000, AvgDests: 4}
+	reqs := collect(t, topo, spec, 13, spec.Requests)
+	checkValid(t, topo, reqs)
+	for i, r := range reqs {
+		partner := TransposePartner(topo, r.Src)
+		if partner != r.Src && r.Dests[0] != partner {
+			t.Fatalf("request %d: first destination %d is not the partner %d", i, r.Dests[0], partner)
+		}
+		px, py := topo.XY(partner)
+		for _, d := range r.Dests {
+			dx, dy := topo.XY(d)
+			dist := abs(dx-px) + abs(dy-py)
+			// 7 destinations max fit within BFS radius 3 of the partner
+			// even when the partner sits in a corner.
+			if dist > 3 {
+				t.Fatalf("request %d: destination %d at distance %d from partner", i, d, dist)
+			}
+		}
+	}
+}
+
+// TestCollectiveShape: every round is GroupSize-1 gather unicasts into
+// the coordinator followed PhaseGap cycles later by the release
+// multicast back over the members, interleaved in global time order.
+func TestCollectiveShape(t *testing.T) {
+	topo := topology.NewMesh2D(8, 8)
+	const groupSize = 5
+	spec := Spec{Model: ModelCollective, Requests: 200, Groups: 4,
+		GroupSize: groupSize, PhaseGap: 32}
+	reqs := collect(t, topo, spec, 19, spec.Requests)
+	if len(reqs) != spec.Requests {
+		t.Fatalf("got %d requests, want %d", len(reqs), spec.Requests)
+	}
+	checkValid(t, topo, reqs)
+	gathers, releases := 0, 0
+	coordOf := make(map[topology.NodeID]bool)
+	for _, r := range reqs {
+		if len(r.Dests) == 1 {
+			gathers++
+			coordOf[r.Dests[0]] = true
+		} else {
+			releases++
+			if len(r.Dests) != groupSize-1 {
+				t.Fatalf("release carries %d destinations, want %d", len(r.Dests), groupSize-1)
+			}
+			if !coordOf[r.Src] {
+				t.Fatalf("release source %d never received a gather", r.Src)
+			}
+		}
+	}
+	if gathers == 0 || releases == 0 {
+		t.Fatalf("collective stream has %d gathers, %d releases; want both", gathers, releases)
+	}
+	// Rounds emit GroupSize-1 gathers per release; the stream truncates
+	// at Requests so the ratio holds within one round.
+	if lo, hi := (gathers-groupSize)/(groupSize-1), (gathers+groupSize)/(groupSize-1); releases < lo || releases > hi {
+		t.Errorf("%d releases for %d gathers, want about %d", releases, gathers, gathers/(groupSize-1))
+	}
+}
+
+// TestSpecErrors: invalid specs are rejected with errors, not panics.
+func TestSpecErrors(t *testing.T) {
+	topo := topology.NewMesh2D(4, 4)
+	cases := []Spec{
+		{Model: "warp", Requests: 10},
+		{Model: ModelUniform, Arrivals: "sometimes", Requests: 10},
+		{Model: ModelUniform, Requests: 0},
+		{Model: ModelUniform, Requests: -3},
+		{Model: ModelUniform, Requests: 10, Groups: -1},
+		{Model: ModelUniform, Requests: 10, AvgDests: -2},
+		{Model: ModelZipf, Requests: 10, ZipfS: -1},
+		{Model: ModelHotspot, Requests: 10, HotFrac: 1.5},
+		{Model: ModelHotspot, Requests: 10, HotNodes: 1},
+		{Model: ModelHotspot, Requests: 10, HotNodes: 99},
+		{Model: ModelUniform, Requests: 10, MeanGap: -4},
+		{Model: ModelUniform, Arrivals: ArrivalsOnOff, Requests: 10, BurstMean: 0.5},
+		{Model: ModelCollective, Requests: 10, GroupSize: 1},
+		{Model: ModelCollective, Requests: 10, PhaseGap: -1},
+	}
+	for _, spec := range cases {
+		if _, err := New(topo, spec, 1); err == nil {
+			t.Errorf("spec %+v accepted, want error", spec)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+var _ = fmt.Sprintf // keep fmt for the golden generator below

@@ -29,6 +29,13 @@ type RouteFunc func(k core.MulticastSet) Injection
 // occupancy at injection time.
 type LiveRouteFunc func(k core.MulticastSet, oracle dfr.ChannelOracle) Injection
 
+// WorkloadFunc supplies an externally generated request stream: each
+// call returns the next multicast and its injection cycle, in
+// nondecreasing cycle order; ok == false ends the stream. It is how the
+// workload layer (internal/workload) plugs into the simulator in place
+// of the paper's per-node exponential generators.
+type WorkloadFunc func() (at int64, k core.MulticastSet, ok bool)
+
 // Config drives one dynamic simulation (Section 7.2).
 type Config struct {
 	Topology topology.Topology
@@ -46,6 +53,7 @@ type Config struct {
 
 	// MeanInterarrivalMicros is the mean of the exponential
 	// inter-message time at each node (the paper's base case is 300 us).
+	// Ignored when Workload is set.
 	MeanInterarrivalMicros float64
 	// AvgDests is the average number of destinations per multicast;
 	// destination counts are drawn uniformly from [1, 2*AvgDests-1].
@@ -76,6 +84,14 @@ type Config struct {
 	// region-partitioned parallel engine (shard.go). 0 or 1 selects the
 	// serial engine; results are byte-identical at any shard count.
 	Shards int
+
+	// Workload, when set, replaces the per-node exponential generators
+	// (Section 7.2) with an externally supplied time-ordered request
+	// stream: MeanInterarrivalMicros, AvgDests, and UnicastFraction are
+	// ignored, and the run ends when the stream is exhausted and the
+	// network has drained (or at MaxCycles / on deadlock). Workload
+	// cycles are flit cycles, the simulator's native clock.
+	Workload WorkloadFunc
 
 	// Faults schedules mid-run hardware failures, sorted by Cycle. Each
 	// activation fails the matching channels (killing the worms caught on
@@ -113,7 +129,7 @@ func (c *Config) validate() error {
 	if c.BandwidthMBps <= 0 {
 		c.BandwidthMBps = 20
 	}
-	if c.MeanInterarrivalMicros <= 0 {
+	if c.MeanInterarrivalMicros <= 0 && c.Workload == nil {
 		return fmt.Errorf("wormsim: MeanInterarrivalMicros must be positive")
 	}
 	if c.AvgDests <= 0 {
@@ -247,11 +263,21 @@ func Run(cfg Config) (Result, error) {
 	// (cycle, node). Spawn times are strictly increasing per node and the
 	// node id breaks ties, so events pop in exactly the order the
 	// original per-cycle all-nodes scan visited them — the RNG stream,
-	// and hence every result, is bit-identical.
-	interCycles := cfg.MeanInterarrivalMicros / flitUs
-	spawns := make(spawnHeap, 0, topo.Nodes())
-	for i := 0; i < topo.Nodes(); i++ {
-		spawns.push(spawnEvent{at: int64(rng.ExpFloat64(interCycles)), node: int32(i)})
+	// and hence every result, is bit-identical. Workload mode replaces
+	// the generators with a one-request lookahead on the stream.
+	var interCycles float64
+	var spawns spawnHeap
+	var wlAt int64
+	var wlSet core.MulticastSet
+	var wlOK bool
+	if cfg.Workload != nil {
+		wlAt, wlSet, wlOK = cfg.Workload()
+	} else {
+		interCycles = cfg.MeanInterarrivalMicros / flitUs
+		spawns = make(spawnHeap, 0, topo.Nodes())
+		for i := 0; i < topo.Nodes(); i++ {
+			spawns.push(spawnEvent{at: int64(rng.ExpFloat64(interCycles)), node: int32(i)})
+		}
 	}
 
 	route := cfg.Route
@@ -272,27 +298,28 @@ func Run(cfg Config) (Result, error) {
 			}
 			nextFault++
 		}
-		for spawns[0].at <= now {
-			ev := spawns.pop()
-			ev.at += int64(rng.ExpFloat64(interCycles)) + 1
-			avg := cfg.AvgDests
-			if cfg.UnicastFraction > 0 && rng.Float64() < cfg.UnicastFraction {
-				avg = -1 // sentinel: exactly one destination
+		if cfg.Workload != nil {
+			for wlOK && wlAt <= now {
+				inject(net, cfg, route, wlSet, lengthFlits)
+				res.MulticastsSent++
+				wlAt, wlSet, wlOK = cfg.Workload()
 			}
-			k := randomMulticast(topo, rng, topology.NodeID(ev.node), avg)
-			var inj Injection
-			if cfg.LiveRoute != nil {
-				inj = cfg.LiveRoute(k, net)
-			} else {
-				inj = route(k)
+			if !wlOK && net.ActiveWorms() == 0 {
+				// Stream exhausted and network drained: the run is done.
+				break
 			}
-			if inj.Flat != nil {
-				net.InjectFlat(inj.Flat, lengthFlits)
-			} else {
-				net.InjectMulticast(inj.Paths, inj.Trees, lengthFlits)
+		} else {
+			for spawns[0].at <= now {
+				ev := spawns.pop()
+				ev.at += int64(rng.ExpFloat64(interCycles)) + 1
+				avg := cfg.AvgDests
+				if cfg.UnicastFraction > 0 && rng.Float64() < cfg.UnicastFraction {
+					avg = -1 // sentinel: exactly one destination
+				}
+				inject(net, cfg, route, randomMulticast(topo, rng, topology.NodeID(ev.node), avg), lengthFlits)
+				res.MulticastsSent++
+				spawns.push(ev)
 			}
-			res.MulticastsSent++
-			spawns.push(ev)
 		}
 		if net.Step() {
 			lastProgress = net.Cycle()
@@ -330,7 +357,19 @@ func Run(cfg Config) (Result, error) {
 		// worms are a wait-for cycle the %64 check will report), or the
 		// stall limit — keeping cycle counts identical to stepping.
 		if !net.movable() {
-			target := spawns[0].at
+			if cfg.Workload != nil && !wlOK && net.ActiveWorms() == 0 {
+				// Stream exhausted and network drained: don't fast-forward
+				// to MaxCycles, the run ends at the drain cycle.
+				break
+			}
+			target := cfg.MaxCycles
+			if cfg.Workload != nil {
+				if wlOK {
+					target = wlAt
+				}
+			} else {
+				target = spawns[0].at
+			}
 			if nextFault < len(cfg.Faults) && cfg.Faults[nextFault].Cycle < target {
 				target = cfg.Faults[nextFault].Cycle
 			}
@@ -372,6 +411,22 @@ func Run(cfg Config) (Result, error) {
 		res.ThroughputPerMs = float64(latency.Observations()) / elapsedMs
 	}
 	return res, nil
+}
+
+// inject routes one multicast (live routing when configured) and puts
+// its worms on the network.
+func inject(net *Network, cfg Config, route RouteFunc, k core.MulticastSet, lengthFlits int) {
+	var inj Injection
+	if cfg.LiveRoute != nil {
+		inj = cfg.LiveRoute(k, net)
+	} else {
+		inj = route(k)
+	}
+	if inj.Flat != nil {
+		net.InjectFlat(inj.Flat, lengthFlits)
+	} else {
+		net.InjectMulticast(inj.Paths, inj.Trees, lengthFlits)
+	}
 }
 
 // spawnEvent is one pending multicast generation: node fires at cycle at.
